@@ -1,0 +1,50 @@
+"""Ablation — multilevel/hybrid partitioning vs naive baselines.
+
+Hash partitioning (what k-mer-distributed de Bruijn assemblers do) and
+BFS block chunking vs the knowledge-enriched hybrid partitioning, all
+measured as edge cut on the overlap graph G0 at k = 16.
+"""
+
+from repro.baselines.naive_partition import bfs_block_partition, hash_partition
+from repro.bench.reporting import format_table
+from repro.partition.metrics import edge_cut, edge_cut_fraction
+
+K = 16
+
+
+def test_ablation_naive_partitioners(benchmark, prepared, partition_sweep, write_result):
+    results = {}
+
+    def run_all():
+        for name, prep in prepared.items():
+            g0 = prep.g0
+            cut_hash = edge_cut(g0, hash_partition(g0.n_nodes, K, seed=0))
+            cut_bfs = edge_cut(g0, bfs_block_partition(g0, K))
+            cut_hyb = partition_sweep[(name, K)]["hybrid"].cut_g0
+            results[name] = (cut_hash, cut_bfs, cut_hyb, g0.total_edge_weight)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, (cut_hash, cut_bfs, cut_hyb, total) in results.items():
+        rows.append(
+            [
+                name,
+                f"{100 * cut_hash / total:.2f}%",
+                f"{100 * cut_bfs / total:.2f}%",
+                f"{100 * cut_hyb / total:.3f}%",
+                f"{cut_hash / cut_hyb:.0f}x",
+            ]
+        )
+    table = format_table(
+        ["Data set", "Hash cut", "BFS-block cut", "Hybrid cut", "Hash/Hybrid"], rows
+    )
+    write_result("ablation_naive_partition", table)
+
+    for name, (cut_hash, cut_bfs, cut_hyb, total) in results.items():
+        # Hash partitioning cuts nearly everything (~1 - 1/k of edges).
+        assert cut_hash / total > 0.5
+        # Structure-aware beats structure-blind...
+        assert cut_bfs < cut_hash
+        # ...and the multilevel hybrid partitioning beats both by a lot.
+        assert cut_hyb < 0.2 * cut_bfs, f"{name}: hybrid not clearly better"

@@ -1,0 +1,56 @@
+"""Ablation — parallel read alignment over subset pairs (paper §II-B).
+
+Focus splits the read set into subsets and farms each subset pair out
+to a processor.  This bench measures the virtual runtime of the
+alignment stage on 1-8 simulated ranks (D1 reads, 4 subsets = 10
+independent pair tasks) and checks the expected speedup shape: gains
+up to the task-granularity limit, then saturation.
+"""
+
+import numpy as np
+
+from repro.align.overlapper import OverlapConfig, OverlapDetector
+from repro.bench.reporting import format_series, format_table
+from repro.mpi.cluster import SimCluster
+
+from conftest import FAST_NET
+
+RANKS = (1, 2, 4, 8)
+N_SUBSETS = 4  # -> 10 subset-pair tasks
+
+
+def test_ablation_parallel_alignment(benchmark, datasets, write_result):
+    reads = datasets[0].reads
+    detector = OverlapDetector(OverlapConfig(min_overlap=50, n_subsets=N_SUBSETS))
+    times = {}
+    counts = {}
+
+    def run_all():
+        for p in RANKS:
+            cluster = SimCluster(p, cost_model=FAST_NET, deadlock_timeout=600.0)
+            results, stats = cluster.run(detector.find_overlaps_parallel, reads)
+            times[p] = stats.elapsed
+            counts[p] = len(results[0])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    speedups = {p: times[1] / times[p] for p in RANKS}
+    table = format_table(
+        ["Ranks", "Virtual time (s)", "Speedup"],
+        [[p, f"{times[p]:.3f}", f"{speedups[p]:.2f}x"] for p in RANKS],
+    )
+    series = format_series(
+        "alignment_speedup", list(RANKS), [speedups[p] for p in RANKS], "p"
+    )
+    write_result("ablation_parallel_alignment", table + "\n\n" + series)
+
+    # Same overlaps at every rank count.
+    assert len(set(counts.values())) == 1
+    # Parallel alignment pays off and keeps paying with more ranks.
+    # Ten unequal tasks + per-thread-clock variance put wide error bars
+    # on the exact factors (observed 1.3-1.9x at p=2, 1.9-2.8x at p=4,
+    # 3.2-4.3x at p=8 across runs), so assert the robust shape only.
+    assert speedups[2] > 1.15
+    assert speedups[4] > 1.5
+    assert speedups[8] > 2.5
+    assert speedups[8] > speedups[4] > speedups[2]

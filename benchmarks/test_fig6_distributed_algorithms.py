@@ -1,0 +1,94 @@
+"""Fig. 6 — distributed graph trimming and traversal runtimes.
+
+Paper: the distributed trimming pass (transitive reduction, dead-end
+trimming, bubble popping, containment removal) gets markedly faster as
+the hybrid graph is split over 8 -> 64 partitions; graph traversal is
+very cheap and roughly flat in the partition count.
+
+Here each stage runs on the simulated cluster with one rank per
+partition; plotted runtimes are virtual elapsed seconds, averaged over
+three repetitions.  To give the workers non-trivial per-rank work we
+trim a *lightly coarsened* hybrid graph (few coarsening levels keep
+thousands of nodes) — the paper's hybrid graphs likewise hold far more
+nodes per partition than our default benchmark datasets produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.distributed.containment import containment_removal
+from repro.distributed.dgraph import DistributedAssemblyGraph, enrich_hybrid
+from repro.distributed.transitive import transitive_reduction
+from repro.distributed.traversal import maximal_paths
+from repro.distributed.trimming import pop_bubbles, trim_dead_ends
+from repro.graph.coarsen import CoarsenConfig, build_multilevel_set
+from repro.graph.hybrid import build_hybrid_set
+from repro.mpi.cluster import SimCluster
+from repro.partition.multilevel import partition_via_hybrid
+from repro.partition.recursive import PartitionConfig
+
+from conftest import FAST_NET, K_SWEEP
+
+RUNS = 5
+
+
+@pytest.fixture(scope="module")
+def big_hybrids(prepared):
+    """name -> (HybridAssembly, hybrid set) with light coarsening."""
+    out = {}
+    for name, prep in prepared.items():
+        mls = build_multilevel_set(prep.g0, CoarsenConfig(max_levels=3, seed=0))
+        hyb = build_hybrid_set(mls, prep.reads.lengths)
+        asm = enrich_hybrid(hyb, prep.g0, prep.reads)
+        out[name] = (mls, hyb, asm)
+    return out
+
+
+def _run_stages(mls, hyb, asm, k):
+    """Median (trim, traversal) virtual seconds over RUNS repetitions."""
+    part = partition_via_hybrid(mls, hyb, k, PartitionConfig(seed=0))
+    trims, travs = [], []
+    for _ in range(RUNS):
+        dag = DistributedAssemblyGraph(asm, part.labels_finest)
+        cluster = SimCluster(k, cost_model=FAST_NET, deadlock_timeout=300.0)
+        trim = 0.0
+        for stage in (transitive_reduction, containment_removal, trim_dead_ends, pop_bubbles):
+            _, stats = cluster.run(stage, dag)
+            trim += stats.elapsed
+        _, stats = cluster.run(maximal_paths, dag)
+        trims.append(trim)
+        travs.append(stats.elapsed)
+    return float(np.median(trims)), float(np.median(travs))
+
+
+def test_fig6_distributed_algorithms(benchmark, big_hybrids, write_result):
+    results = {}
+
+    def run_all():
+        for name, (mls, hyb, asm) in big_hybrids.items():
+            for k in K_SWEEP:
+                results[(name, k)] = _run_stages(mls, hyb, asm, k)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, k, f"{results[(name, k)][0] * 1e3:.2f}", f"{results[(name, k)][1] * 1e3:.2f}"]
+        for name in big_hybrids
+        for k in K_SWEEP
+    ]
+    sizes = {name: big_hybrids[name][1].hybrid.n_nodes for name in big_hybrids}
+    table = format_table(
+        ["Data set", "Partitions", "Trimming (virtual ms)", "Traversal (virtual ms)"], rows
+    )
+    table += "\nhybrid graph sizes: " + ", ".join(f"{n}={s}" for n, s in sizes.items())
+    write_result("fig6_distributed_algorithms", table)
+
+    for name in big_hybrids:
+        trims = np.array([results[(name, k)][0] for k in K_SWEEP])
+        travs = np.array([results[(name, k)][1] for k in K_SWEEP])
+        # Trimming gets faster with more partitions (paper: steep drop).
+        assert trims[-1] < 0.75 * trims[0], f"{name}: trimming did not speed up {trims}"
+        # Traversal is much cheaper than trimming and roughly flat.
+        assert travs[0] < 0.6 * trims[0], f"{name}: traversal not cheap {travs[0]} vs {trims[0]}"
+        assert travs.max() < 8 * max(travs.min(), 1e-6), f"{name}: traversal not flat {travs}"

@@ -1,0 +1,50 @@
+"""Table III — assembly statistics across partition counts.
+
+Paper: for each dataset, N50, max contig length and contig count are
+essentially invariant as the hybrid graph is cut into 4, 16, 32 or 64
+partitions — partitioning does not change assembly quality.
+"""
+
+from repro.bench.reporting import format_table
+
+K_VALUES = (4, 16, 32, 64)
+
+
+def test_table3_assembly_stats(benchmark, prepared, assembler, write_result):
+    results = {}
+
+    def run_all():
+        for name, prep in prepared.items():
+            for k in K_VALUES:
+                results[(name, k)] = assembler.finish(prep, n_partitions=k).stats
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            k,
+            results[(name, k)].n50,
+            results[(name, k)].max_contig,
+            results[(name, k)].n_contigs,
+        ]
+        for name in prepared
+        for k in K_VALUES
+    ]
+    table = format_table(
+        ["Data set", "Part. Num.", "N50 (bp)", "Max Contig (bp)", "Num. of Contigs"], rows
+    )
+    write_result("table3_assembly_stats", table)
+
+    # Shape: per dataset, stats are consistent across partition counts.
+    # The paper's N50 varies by <1%, contig counts by a few hundred in
+    # ~10^5; on our small graphs allow ~15% relative wobble.
+    for name in prepared:
+        stats = [results[(name, k)] for k in K_VALUES]
+        n50s = [s.n50 for s in stats]
+        maxes = [s.max_contig for s in stats]
+        counts = [s.n_contigs for s in stats]
+        assert min(n50s) > 0
+        assert max(n50s) <= 1.2 * min(n50s), f"{name}: N50 unstable {n50s}"
+        assert max(maxes) <= 1.2 * min(maxes), f"{name}: max contig unstable {maxes}"
+        assert max(counts) <= 1.25 * min(counts), f"{name}: contig count unstable {counts}"

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Focus (distributed overlap graph) vs a de Bruijn assembler.
+
+The paper positions the distributed overlap-graph model against the
+dominant de Bruijn parallel assemblers (AbySS, Ray, SWAP).  This
+example assembles the same simulated reads with both models and
+compares contiguity — including on a repeat-rich genome where the two
+models fragment differently.
+
+Run:  python examples/assembler_shootout.py
+"""
+
+import numpy as np
+
+from repro import AssemblyConfig, FocusAssembler
+from repro.baselines.debruijn import DeBruijnAssembler, DeBruijnConfig
+from repro.simulate.genome import Genome, insert_repeats, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+def run_case(name: str, genome: Genome, seed: int) -> None:
+    reads = ReadSimulator(
+        ReadSimConfig(read_length=100, coverage=15, seed=seed)
+    ).simulate_genome(genome)
+
+    focus = FocusAssembler(AssemblyConfig(n_partitions=4)).assemble(reads)
+    dbg_reads = focus.processed_reads  # same preprocessed reads (incl. RCs)
+    _, dbg_stats = DeBruijnAssembler(
+        DeBruijnConfig(k=31, min_count=3, min_contig_length=100)
+    ).assemble(dbg_reads)
+
+    print(f"\n-- {name} ({len(genome):,} bp, {len(reads):,} reads) --")
+    print(f"{'':>14} {'contigs':>8} {'N50':>8} {'max':>8}")
+    fs = focus.stats
+    print(f"{'Focus':>14} {fs.n_contigs:>8} {fs.n50:>8,} {fs.max_contig:>8,}")
+    print(
+        f"{'de Bruijn':>14} {dbg_stats.n_contigs:>8} {dbg_stats.n50:>8,} "
+        f"{dbg_stats.max_contig:>8,}"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    plain = Genome("plain", random_genome(15_000, rng))
+    run_case("repeat-free genome", plain, seed=3)
+
+    rng = np.random.default_rng(4)
+    base = random_genome(15_000, rng)
+    repeaty = Genome("repeaty", insert_repeats(base, repeat_length=400, n_copies=4, rng=rng))
+    run_case("repeat-rich genome (4 x 400 bp repeat family)", repeaty, seed=4)
+
+    print(
+        "\n=> long repeats (>> read length) fragment both models; the overlap "
+        "graph keeps longer contigs where read-length context resolves what "
+        "k-mer-length context cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

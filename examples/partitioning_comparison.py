@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Hybrid vs multilevel partitioning (the paper's Fig. 5 / Table II).
+
+Builds one metagenome dataset, then partitions its assembly graph two
+ways for k in {8, 16, 32}:
+
+- multilevel: the naive baseline — full un-coarsening with
+  Kernighan-Lin refinement at every level down to the overlap graph;
+- hybrid: the knowledge-enriched variant — partition the much smaller
+  hybrid graph (contiguous read clusters stay collapsed) and map the
+  result onto the overlap graph.
+
+Prints runtime and overlap-graph edge cut for both.
+
+Run:  python examples/partitioning_comparison.py
+"""
+
+from repro import AssemblyConfig, FocusAssembler
+from repro.partition.multilevel import partition_via_hybrid, partition_via_multilevel
+from repro.partition.recursive import PartitionConfig
+from repro.simulate.community import CommunityConfig, build_community
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+def main() -> None:
+    community = build_community(
+        CommunityConfig(shared_length=3000, private_length=2500, repeat_copies=1), seed=11
+    )
+    reads = ReadSimulator(ReadSimConfig(read_length=100, coverage=8, seed=11)).simulate_community(
+        community
+    )
+    print(f"dataset: {len(reads):,} reads from {len(community.genomes)} genomes")
+
+    assembler = FocusAssembler(AssemblyConfig())
+    prep = assembler.prepare(reads)
+    g0, hyb = prep.g0, prep.hyb
+    print(
+        f"overlap graph: {g0.n_nodes:,} nodes / {g0.n_edges:,} edges; "
+        f"hybrid graph: {hyb.hybrid.n_nodes:,} nodes "
+        f"({g0.n_nodes / hyb.hybrid.n_nodes:.0f}x compression)"
+    )
+
+    print(f"\n{'k':>4} {'hybrid (s)':>11} {'multi (s)':>10} {'speed':>6} "
+          f"{'cut hyb':>9} {'cut multi':>10}")
+    cfg = PartitionConfig(seed=0)
+    for k in (8, 16, 32):
+        r_h = partition_via_hybrid(prep.mls, hyb, k, cfg)
+        r_m = partition_via_multilevel(prep.mls, k, cfg)
+        print(
+            f"{k:>4} {r_h.wall_time:>11.3f} {r_m.wall_time:>10.3f} "
+            f"{r_m.wall_time / r_h.wall_time:>5.1f}x "
+            f"{r_h.cut_g0:>9.0f} {r_m.cut_g0:>10.0f}"
+        )
+    print("\n=> partitioning the hybrid graph is much faster and cuts fewer "
+          "overlap-graph edges: biological knowledge pays.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Variant detection on the distributed hybrid graph.
+
+The paper names variant detection as the natural next algorithm for
+its framework (§VI-D).  This example simulates a sample carrying a
+*hypervariable locus*: two alleles of the same genome that are
+identical everywhere except a short, strongly divergent window (as in
+antigenic-variation or HLA-like regions; ~30% divergence).  Reads from the two alleles
+fail the 90%-identity overlap threshold inside the window, so the
+hybrid graph grows a bubble there — and the distributed variant caller
+reads the differences back out of the bubble's branch contigs.
+
+(Isolated heterozygous SNVs do *not* bubble an overlap graph: at 99%+
+identity the haplotypes still overlap and the consensus absorbs them —
+a real and known property of the model.)
+
+Run:  python examples/variant_detection.py
+"""
+
+import numpy as np
+
+from repro import AssemblyConfig, FocusAssembler
+from repro.distributed.variants import detect_variants
+from repro.io.readset import ReadSet
+from repro.mpi.cluster import SimCluster
+from repro.simulate.genome import Genome, mutate, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+N_PARTITIONS = 4
+WINDOW = (5_000, 5_400)  # divergent locus
+DIVERGENCE = 0.30
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    allele_a = random_genome(12_000, rng)
+    allele_b = allele_a.copy()
+    lo, hi = WINDOW
+    allele_b[lo:hi] = mutate(allele_a[lo:hi], DIVERGENCE, rng)
+    n_diffs = int((allele_a != allele_b).sum())
+    print(f"planted a divergent locus [{lo}, {hi}) with {n_diffs} differing bases")
+
+    sim = ReadSimulator(ReadSimConfig(read_length=100, coverage=12, seed=99))
+    reads_a = sim.simulate_genome(Genome("alleleA", allele_a))
+    reads_b = sim.simulate_genome(Genome("alleleB", allele_b), id_prefix="alleleB")
+    pooled = ReadSet(list(reads_a) + list(reads_b))
+    print(f"pooled {len(pooled):,} reads from the two alleles")
+
+    # Trimming stays off: error removal would pop the very bubbles the
+    # variant caller needs.
+    assembler = FocusAssembler(AssemblyConfig(n_partitions=N_PARTITIONS, run_trimming=False))
+    result = assembler.assemble(pooled)
+    print(f"assembly: {result.stats.n_contigs} contigs, N50 {result.stats.n50:,} bp")
+
+    cluster = SimCluster(N_PARTITIONS)
+    results, stats = cluster.run(
+        detect_variants, result.dag, max_variants_per_bubble=300
+    )
+    calls = results[0]
+    snvs = [v for v in calls if v.kind == "snv"]
+    print(f"\ndetected {len(calls)} candidate variant records "
+          f"({len(snvs)} SNVs) in {stats.elapsed * 1e3:.2f} virtual ms")
+    for v in calls[:10]:
+        print(f"  {v.kind.upper():>5} branch {v.ref_node}->{v.alt_node} "
+              f"offset {v.position}: {v.ref_allele} -> {v.alt_allele}")
+    if len(calls) > 10:
+        print(f"  ... and {len(calls) - 10} more")
+    if calls:
+        print("\n=> the divergent locus surfaced as a hybrid-graph bubble and "
+              "its alleles were recovered from the branch contigs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of the Focus parallel NGS assembler.
+
+Warnke-Sommer & Ali, *Parallel NGS Assembly Using Distributed Assembly
+Graphs Enriched with Biological Knowledge*, IPDPSW 2017.
+
+Public API highlights:
+
+- :class:`repro.FocusAssembler` / :class:`repro.AssemblyConfig` — the
+  end-to-end assembler;
+- :mod:`repro.simulate` — synthetic genomes, communities, reads;
+- :mod:`repro.partition` — multilevel / hybrid graph partitioning;
+- :mod:`repro.mpi` — the simulated MPI runtime;
+- :mod:`repro.analysis` — community structure from partitions;
+- :mod:`repro.baselines` — naive partitioners, de Bruijn assembler.
+"""
+
+from repro.core.config import AssemblyConfig
+from repro.core.focus import AssemblyResult, FocusAssembler, PreparedAssembly
+from repro.core.stats import AssemblyStats, n50
+from repro.io.readset import ReadSet
+from repro.io.records import Read
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyConfig",
+    "FocusAssembler",
+    "AssemblyResult",
+    "PreparedAssembly",
+    "AssemblyStats",
+    "n50",
+    "Read",
+    "ReadSet",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Banded Needleman–Wunsch global alignment.
+
+Used to verify candidate overlaps: once k-mer hits suggest that a
+query segment matches a reference segment around a diagonal, the two
+segments are globally aligned inside a band of width ``2*band + 1``
+around that diagonal.  Rows are computed with numpy; the in-row gap
+recurrence is solved as a running-maximum prefix scan, so there is no
+per-cell Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AlignmentResult", "banded_align"]
+
+_NEG = np.float64(-1e18)
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Outcome of a (banded) global alignment.
+
+    ``length`` is the number of alignment columns, ``identity`` the
+    fraction of columns that are exact matches.
+    """
+
+    score: float
+    length: int
+    matches: int
+    mismatches: int
+    gaps: int
+
+    @property
+    def identity(self) -> float:
+        return self.matches / self.length if self.length else 1.0
+
+
+def banded_align(
+    a: np.ndarray,
+    b: np.ndarray,
+    band: int = 5,
+    match: float = 1.0,
+    mismatch: float = -1.0,
+    gap: float = -2.0,
+) -> AlignmentResult:
+    """Globally align ``a`` vs ``b`` within ``|i - j| <= band``.
+
+    The band is widened automatically to at least ``|len(a) - len(b)|``
+    so that a global path always exists.  Gap penalty must be negative
+    and mismatch must not beat match, otherwise scoring is meaningless.
+    """
+    if gap >= 0 or mismatch > match:
+        raise ValueError("need gap < 0 and mismatch <= match")
+    a = np.asarray(a, dtype=np.int16)
+    b = np.asarray(b, dtype=np.int16)
+    n, m = a.size, b.size
+    band = max(int(band), abs(n - m), 1)
+
+    H = np.full((n + 1, m + 1), _NEG)
+    js = np.arange(m + 1)
+    H[0, : band + 1] = js[: band + 1] * gap
+    for i in range(1, n + 1):
+        lo = max(0, i - band)
+        hi = min(m, i + band)
+        seg = slice(lo, hi + 1)
+        # Candidates from the previous row: diagonal and up moves.
+        cand = np.full(hi - lo + 1, _NEG)
+        prev = H[i - 1]
+        # diagonal: H[i-1, j-1] + s(a[i-1], b[j-1]) for j in [lo, hi], j >= 1
+        j0 = max(lo, 1)
+        sub = np.where(b[j0 - 1 : hi] == a[i - 1], match, mismatch)
+        cand[j0 - lo :] = prev[j0 - 1 : hi] + sub
+        # up: H[i-1, j] + gap
+        cand = np.maximum(cand, prev[seg] + gap)
+        # left within the row: running-max prefix scan of cand + gap*offset
+        t = cand - gap * js[seg]
+        row = gap * js[seg] + np.maximum.accumulate(t)
+        H[i, seg] = row
+
+    score = H[n, m]
+    if score <= _NEG / 2:
+        raise RuntimeError("band too narrow: no global path (should not happen)")
+
+    # Traceback, recomputing which move produced each cell.
+    i, j = n, m
+    matches = mismatches = gaps = 0
+    while i > 0 or j > 0:
+        h = H[i, j]
+        if i > 0 and j > 0:
+            s = match if a[i - 1] == b[j - 1] else mismatch
+            if np.isclose(h, H[i - 1, j - 1] + s):
+                if a[i - 1] == b[j - 1]:
+                    matches += 1
+                else:
+                    mismatches += 1
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and np.isclose(h, H[i - 1, j] + gap):
+            gaps += 1
+            i -= 1
+            continue
+        gaps += 1
+        j -= 1
+
+    return AlignmentResult(
+        score=float(score),
+        length=matches + mismatches + gaps,
+        matches=matches,
+        mismatches=mismatches,
+        gaps=gaps,
+    )

@@ -1,0 +1,97 @@
+"""Sorted k-mer index over a ReadSet.
+
+This is the depth-k truncation of the reference suffix array: all
+packed k-mers of all reference reads, sorted, with parallel arrays
+giving the read each k-mer came from and its offset within that read.
+Querying a batch of k-mers is two ``np.searchsorted`` calls plus an
+expansion — no per-hit Python work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.readset import ReadSet
+from repro.sequence.kmers import kmer_codes
+
+__all__ = ["KmerIndex"]
+
+
+class KmerIndex:
+    """Exact k-mer lookup over the reads of a ReadSet (or a subset)."""
+
+    def __init__(self, reads: ReadSet, k: int, read_indices: np.ndarray | None = None) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.reads = reads
+        if read_indices is None:
+            read_indices = np.arange(len(reads), dtype=np.int64)
+        self.read_indices = np.asarray(read_indices, dtype=np.int64)
+
+        vals_parts: list[np.ndarray] = []
+        read_parts: list[np.ndarray] = []
+        off_parts: list[np.ndarray] = []
+        for ridx in self.read_indices.tolist():
+            vals = kmer_codes(reads.codes_of(ridx), k)
+            valid = np.flatnonzero(vals >= 0)
+            if valid.size == 0:
+                continue
+            vals_parts.append(vals[valid])
+            read_parts.append(np.full(valid.size, ridx, dtype=np.int64))
+            off_parts.append(valid.astype(np.int64))
+        if vals_parts:
+            vals = np.concatenate(vals_parts)
+            order = np.argsort(vals, kind="stable")
+            self.kmers = vals[order]
+            self.kmer_reads = np.concatenate(read_parts)[order]
+            self.kmer_offsets = np.concatenate(off_parts)[order]
+        else:
+            self.kmers = np.empty(0, dtype=np.int64)
+            self.kmer_reads = np.empty(0, dtype=np.int64)
+            self.kmer_offsets = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.kmers.size)
+
+    def lookup(self, query_vals: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Find all occurrences of each query k-mer.
+
+        Parameters
+        ----------
+        query_vals:
+            Packed k-mer values (invalid entries < 0 are skipped).
+
+        Returns
+        -------
+        (query_pos, hit_reads, hit_offsets):
+            parallel arrays, one row per (query k-mer, reference
+            occurrence) pair; ``query_pos`` indexes into ``query_vals``.
+        """
+        query_vals = np.asarray(query_vals, dtype=np.int64)
+        valid = np.flatnonzero(query_vals >= 0)
+        if valid.size == 0 or self.kmers.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        vals = query_vals[valid]
+        lo = np.searchsorted(self.kmers, vals, side="left")
+        hi = np.searchsorted(self.kmers, vals, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        query_pos = np.repeat(valid, counts)
+        # Build flat indices [lo_i, hi_i) for each query k-mer i.
+        starts = np.repeat(lo, counts)
+        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        flat = starts + within
+        return query_pos, self.kmer_reads[flat], self.kmer_offsets[flat]
+
+    def hit_counts(self, query_vals: np.ndarray, exclude_read: int | None = None) -> dict[int, int]:
+        """Number of shared k-mers per reference read (diagnostic helper)."""
+        _, hit_reads, _ = self.lookup(query_vals)
+        if exclude_read is not None:
+            hit_reads = hit_reads[hit_reads != exclude_read]
+        uniq, counts = np.unique(hit_reads, return_counts=True)
+        return dict(zip(uniq.tolist(), counts.tolist()))

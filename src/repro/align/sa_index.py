@@ -1,0 +1,90 @@
+"""Suffix-array-backed reference read index (paper §II-B).
+
+Focus indexes each reference read subset with a suffix array and
+queries it with the query read's k-mers.  This module provides that
+exact structure with the same ``lookup`` interface as
+:class:`repro.align.kmer_index.KmerIndex`, so the overlap detector can
+use either (``OverlapConfig.index = "suffix_array"``).
+
+Reference reads are concatenated with single ``N`` separators; since
+queries never contain code 4, no match can span a read boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.suffix_array import SuffixArraySearcher
+from repro.io.readset import ReadSet
+from repro.sequence.dna import N
+from repro.sequence.kmers import unpack_kmer
+
+__all__ = ["SuffixArrayReadIndex"]
+
+
+class SuffixArrayReadIndex:
+    """Suffix-array k-mer lookup over (a subset of) a ReadSet."""
+
+    def __init__(self, reads: ReadSet, k: int, read_indices: np.ndarray | None = None) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.reads = reads
+        if read_indices is None:
+            read_indices = np.arange(len(reads), dtype=np.int64)
+        self.read_indices = np.asarray(read_indices, dtype=np.int64)
+
+        parts: list[np.ndarray] = []
+        starts: list[int] = []
+        pos = 0
+        sep = np.array([N], dtype=np.uint8)
+        for ridx in self.read_indices.tolist():
+            codes = reads.codes_of(ridx)
+            starts.append(pos)
+            parts.append(codes)
+            parts.append(sep)
+            pos += codes.size + 1
+        self.text = np.concatenate(parts) if parts else np.empty(0, dtype=np.uint8)
+        #: concatenated-text start of each indexed read.
+        self.read_starts = np.asarray(starts, dtype=np.int64)
+        self.searcher = SuffixArraySearcher(self.text) if self.text.size else None
+
+    def __len__(self) -> int:
+        """Number of indexed k-mer positions (N-free windows)."""
+        total = 0
+        for ridx in self.read_indices.tolist():
+            total += max(0, self.reads.length_of(int(ridx)) - self.k + 1)
+        return total
+
+    def _locate(self, text_positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map text positions to (read id, offset within read)."""
+        slot = np.searchsorted(self.read_starts, text_positions, side="right") - 1
+        offsets = text_positions - self.read_starts[slot]
+        return self.read_indices[slot], offsets
+
+    def lookup(self, query_vals: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Same contract as :meth:`KmerIndex.lookup`.
+
+        Each valid packed k-mer is unpacked and searched in the suffix
+        array; matches return (query k-mer position, reference read,
+        reference offset) triples.
+        """
+        query_vals = np.asarray(query_vals, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        if query_vals.size == 0 or self.searcher is None:
+            return empty, empty.copy(), empty.copy()
+        q_parts: list[np.ndarray] = []
+        r_parts: list[np.ndarray] = []
+        o_parts: list[np.ndarray] = []
+        for qpos in np.flatnonzero(query_vals >= 0).tolist():
+            pattern = unpack_kmer(int(query_vals[qpos]), self.k).astype(np.int64)
+            hits = self.searcher.find(pattern)
+            if hits.size == 0:
+                continue
+            hit_reads, hit_offsets = self._locate(hits)
+            q_parts.append(np.full(hits.size, qpos, dtype=np.int64))
+            r_parts.append(hit_reads)
+            o_parts.append(hit_offsets)
+        if not q_parts:
+            return empty, empty.copy(), empty.copy()
+        return np.concatenate(q_parts), np.concatenate(r_parts), np.concatenate(o_parts)

@@ -1,0 +1,73 @@
+"""Community abundance profiling from classified reads.
+
+The complement of Fig. 7's partition analysis: estimate each genus's
+relative abundance from read classification counts (normalised by
+genome length, since longer genomes attract proportionally more
+reads), and compare profiles against the simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.classify import KmerClassifier
+from repro.io.readset import ReadSet
+from repro.simulate.community import Community
+
+__all__ = ["estimate_abundances", "abundance_error", "profile_community"]
+
+
+def estimate_abundances(
+    genus_labels: list[str | None],
+    genera: list[str],
+    genome_lengths: dict[str, int],
+) -> np.ndarray:
+    """Relative abundances from per-read genus labels.
+
+    Read counts are divided by genome length (reads-per-base) before
+    normalising, matching how the simulator draws reads (abundance x
+    length).  Unclassified reads are ignored.
+    """
+    if len(genera) == 0:
+        raise ValueError("need at least one genus")
+    counts = np.zeros(len(genera), dtype=np.float64)
+    index = {g: i for i, g in enumerate(genera)}
+    for label in genus_labels:
+        gi = index.get(label)
+        if gi is not None:
+            counts[gi] += 1
+    lengths = np.array([genome_lengths[g] for g in genera], dtype=np.float64)
+    if (lengths <= 0).any():
+        raise ValueError("genome lengths must be positive")
+    density = counts / lengths
+    total = density.sum()
+    return density / total if total > 0 else density
+
+
+def abundance_error(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """Total variation distance between two abundance profiles."""
+    estimated = np.asarray(estimated, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimated.shape != truth.shape:
+        raise ValueError("profiles must have equal length")
+    return float(0.5 * np.abs(estimated - truth).sum())
+
+
+def profile_community(
+    reads: ReadSet,
+    community: Community,
+    k: int = 21,
+    min_votes: int = 2,
+) -> tuple[list[str], np.ndarray, np.ndarray, float]:
+    """Classify reads and compare the estimated profile to ground truth.
+
+    Returns (genera, estimated, truth, total-variation error), with
+    genera in the community's genome order.
+    """
+    classifier = KmerClassifier(community.reference_database(), k=k)
+    labels = classifier.classify_readset(reads, min_votes=min_votes)
+    genera = community.genera
+    lengths = {g.meta["genus"]: len(g) for g in community.genomes}
+    estimated = estimate_abundances(labels, genera, lengths)
+    truth = np.asarray(community.abundances, dtype=np.float64)
+    return genera, estimated, truth, abundance_error(estimated, truth)

@@ -1,0 +1,46 @@
+"""ASCII rendering of the genus x partition heat map (Fig. 7)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["render_heatmap"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_prefix: str = "P",
+    cell_width: int = 3,
+) -> str:
+    """Text heat map: darker glyph = larger fraction (row-normalised).
+
+    Mirrors the paper's Fig. 7 presentation closely enough to eyeball
+    genus concentration in a terminal.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    if m.shape[0] != len(row_labels):
+        raise ValueError("one row label per matrix row required")
+    if cell_width < 1:
+        raise ValueError("cell_width must be positive")
+    k = m.shape[1]
+    label_w = max((len(r) for r in row_labels), default=0)
+    header = " " * label_w + " " + "".join(
+        f"{col_prefix}{c}".rjust(cell_width) for c in range(k)
+    )
+    lines = [header]
+    for label, row in zip(row_labels, m):
+        peak = row.max()
+        cells = []
+        for v in row:
+            frac = v / peak if peak > 0 else 0.0
+            shade = _SHADES[min(int(frac * (len(_SHADES) - 1) + 1e-9), len(_SHADES) - 1)]
+            cells.append((shade * min(cell_width - 1, 2)).rjust(cell_width))
+        lines.append(f"{label:<{label_w}} " + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""k-mer seeded sequence-to-reference placement.
+
+The shared engine behind the QUAST-lite evaluator and the scaffolder's
+read mapping: index reference sequences by k-mer, place a query by the
+consensus diagonal of its k-mer hits (both strands), and verify the
+placement base-by-base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequence.dna import hamming_identity, reverse_complement
+from repro.sequence.kmers import kmer_codes
+
+__all__ = ["Placement", "SequenceMapper"]
+
+_REF_SHIFT = 2**40
+_DIAG_BIAS = 2**30
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A verified placement of a query on a reference sequence."""
+
+    reference: int
+    position: int
+    strand: str
+    identity: float
+    votes: int
+
+
+class SequenceMapper:
+    """Places query sequences on a set of reference code arrays."""
+
+    def __init__(self, references: list[np.ndarray], k: int = 21) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        if not references:
+            raise ValueError("need at least one reference sequence")
+        self.k = k
+        self.references = [np.asarray(r, dtype=np.uint8) for r in references]
+        vals_parts, ref_parts, pos_parts = [], [], []
+        for ri, codes in enumerate(self.references):
+            vals = kmer_codes(codes, k)
+            valid = np.flatnonzero(vals >= 0)
+            vals_parts.append(vals[valid])
+            ref_parts.append(np.full(valid.size, ri, dtype=np.int64))
+            pos_parts.append(valid.astype(np.int64))
+        vals = np.concatenate(vals_parts)
+        order = np.argsort(vals, kind="stable")
+        self.vals = vals[order]
+        self.refs = np.concatenate(ref_parts)[order]
+        self.pos = np.concatenate(pos_parts)[order]
+
+    def _best_diagonal(self, seq: np.ndarray) -> tuple[int, int, int] | None:
+        """(reference, start, votes) of the consensus diagonal."""
+        vals = kmer_codes(seq, self.k)
+        qpos = np.flatnonzero(vals >= 0)
+        if qpos.size == 0 or self.vals.size == 0:
+            return None
+        lo = np.searchsorted(self.vals, vals[qpos], side="left")
+        hi = np.searchsorted(self.vals, vals[qpos], side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return None
+        starts = np.repeat(lo, counts)
+        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        flat = starts + within
+        q = np.repeat(qpos, counts)
+        diag = self.pos[flat] - q
+        key = self.refs[flat] * _REF_SHIFT + (diag + _DIAG_BIAS)
+        uniq, votes = np.unique(key, return_counts=True)
+        best = int(np.argmax(votes))
+        ref = int(uniq[best] // _REF_SHIFT)
+        start = int((uniq[best] % _REF_SHIFT) - _DIAG_BIAS)
+        return ref, start, int(votes[best])
+
+    def _verify(self, seq: np.ndarray, ref: int, start: int) -> float | None:
+        codes = self.references[ref]
+        if start < 0 or start + seq.size > codes.size:
+            return None
+        return hamming_identity(seq, codes[start : start + seq.size])
+
+    def place(
+        self, query: np.ndarray, min_identity: float = 0.9, min_votes: int = 2
+    ) -> Placement | None:
+        """Best verified placement of ``query`` on any reference/strand."""
+        query = np.asarray(query, dtype=np.uint8)
+        best: Placement | None = None
+        for strand, seq in (("+", query), ("-", reverse_complement(query))):
+            hit = self._best_diagonal(seq)
+            if hit is None or hit[2] < min_votes:
+                continue
+            ref, start, votes = hit
+            identity = self._verify(seq, ref, start)
+            if identity is None or identity < min_identity:
+                continue
+            if best is None or identity > best.identity:
+                best = Placement(
+                    reference=ref, position=start, strand=strand,
+                    identity=identity, votes=votes,
+                )
+        return best

@@ -1,0 +1,18 @@
+"""Baselines: naive partitioners and a de Bruijn graph assembler.
+
+The naive partitioners give Table II context (what edge cut you get
+with no multilevel machinery at all); the de Bruijn assembler is the
+dominant competing assembly model the paper positions itself against
+(AbySS/Ray/SWAP all build on it) and serves as a cross-model
+comparison point for contiguity.
+"""
+
+from repro.baselines.debruijn import DeBruijnAssembler, DeBruijnConfig
+from repro.baselines.naive_partition import bfs_block_partition, hash_partition
+
+__all__ = [
+    "hash_partition",
+    "bfs_block_partition",
+    "DeBruijnAssembler",
+    "DeBruijnConfig",
+]

@@ -1,0 +1,127 @@
+"""A compact de Bruijn graph assembler (the competing model).
+
+Reads are shredded into k-mers; nodes are (k-1)-mers, edges are
+observed k-mers with multiplicities.  Low-coverage k-mers (sequencing
+errors) are dropped, then maximal non-branching paths (unitigs) become
+contigs.  This mirrors the algorithmic core of Velvet/AbySS minus
+their scaffolding, giving a fair cross-model contiguity comparison for
+the overlap-based Focus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import AssemblyStats
+from repro.io.readset import ReadSet
+from repro.sequence.kmers import kmer_codes, unpack_kmer
+
+__all__ = ["DeBruijnConfig", "DeBruijnAssembler"]
+
+
+@dataclass(frozen=True)
+class DeBruijnConfig:
+    k: int = 31
+    #: k-mers observed fewer times are treated as sequencing errors.
+    min_count: int = 2
+    #: contigs shorter than this are suppressed from the output.
+    min_contig_length: int = 63
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.k <= 31:
+            raise ValueError("k must be in 2..31")
+        if self.min_count < 1:
+            raise ValueError("min_count must be positive")
+
+
+class DeBruijnAssembler:
+    """Unitig assembler over the compact de Bruijn graph."""
+
+    def __init__(self, config: DeBruijnConfig | None = None) -> None:
+        self.config = config or DeBruijnConfig()
+
+    def count_kmers(self, reads: ReadSet) -> dict[int, int]:
+        """Multiplicity of every k-mer across the read set."""
+        counts: dict[int, int] = {}
+        k = self.config.k
+        for i in range(len(reads)):
+            vals = kmer_codes(reads.codes_of(i), k)
+            for v in vals[vals >= 0].tolist():
+                counts[v] = counts.get(v, 0) + 1
+        return counts
+
+    @staticmethod
+    def _split_kmer(value: int, k: int) -> tuple[int, int, int]:
+        """(left (k-1)-mer, right (k-1)-mer, last base) of a packed k-mer."""
+        mask = (1 << (2 * (k - 1))) - 1
+        left = value >> 2
+        right = value & mask
+        return left, right, value & 3
+
+    def build_graph(self, counts: dict[int, int]) -> dict[int, list[int]]:
+        """Adjacency: (k-1)-mer -> outgoing solid k-mers."""
+        k = self.config.k
+        adj: dict[int, list[int]] = {}
+        for kmer, count in counts.items():
+            if count < self.config.min_count:
+                continue
+            left, _, _ = self._split_kmer(kmer, k)
+            adj.setdefault(left, []).append(kmer)
+        return adj
+
+    def _in_degrees(self, adj: dict[int, list[int]]) -> dict[int, int]:
+        indeg: dict[int, int] = {}
+        k = self.config.k
+        for kmers in adj.values():
+            for kmer in kmers:
+                _, right, _ = self._split_kmer(kmer, k)
+                indeg[right] = indeg.get(right, 0) + 1
+        return indeg
+
+    def unitigs(self, adj: dict[int, list[int]]) -> list[np.ndarray]:
+        """Maximal non-branching paths as code arrays."""
+        k = self.config.k
+        indeg = self._in_degrees(adj)
+        used: set[int] = set()
+        contigs: list[np.ndarray] = []
+
+        def is_junction(node: int) -> bool:
+            return len(adj.get(node, [])) != 1 or indeg.get(node, 0) != 1
+
+        def walk(start_kmer: int) -> np.ndarray:
+            path = [start_kmer]
+            used.add(start_kmer)
+            _, right, _ = self._split_kmer(start_kmer, k)
+            while not is_junction(right):
+                nxt = adj[right][0]
+                if nxt in used:
+                    break
+                path.append(nxt)
+                used.add(nxt)
+                _, right, _ = self._split_kmer(nxt, k)
+            first = unpack_kmer(path[0], k)
+            tail = np.array([p & 3 for p in path[1:]], dtype=np.uint8)
+            return np.concatenate([first, tail])
+
+        # Paths starting at junction exits first, then leftover cycles.
+        for node in list(adj):
+            if is_junction(node):
+                for kmer in adj[node]:
+                    if kmer not in used:
+                        contigs.append(walk(kmer))
+        for node in list(adj):
+            for kmer in adj[node]:
+                if kmer not in used:
+                    contigs.append(walk(kmer))
+        return contigs
+
+    def assemble(self, reads: ReadSet) -> tuple[list[np.ndarray], AssemblyStats]:
+        """Full run: count, filter, unitig; returns (contigs, stats)."""
+        counts = self.count_kmers(reads)
+        adj = self.build_graph(counts)
+        contigs = [
+            c for c in self.unitigs(adj) if c.size >= self.config.min_contig_length
+        ]
+        return contigs, AssemblyStats.from_contigs(contigs)

@@ -1,0 +1,43 @@
+"""Plain-text table/series formatting for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Monospace table with a header rule, like the paper's tables."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(row):
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x") -> str:
+    """A labelled (x, y) series, one point per line (figure data)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    lines = [f"# {name}"]
+    lines.extend(f"{x_label}={_fmt(x)}  {name}={_fmt(y)}" for x, y in zip(xs, ys))
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Command-line interface: simulate, assemble, stats.
+
+Usage examples::
+
+    python -m repro simulate-genome --length 25000 --seed 1 -o genome.fasta
+    python -m repro simulate-reads --genome genome.fasta --coverage 12 -o reads.fastq
+    python -m repro simulate-community --seed 7 --coverage 8 -o reads.fastq --refs refs.fasta
+    python -m repro assemble reads.fastq -o contigs.fasta --partitions 4
+    python -m repro stats contigs.fasta
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.config import AssemblyConfig
+from repro.core.focus import FocusAssembler
+from repro.core.stats import AssemblyStats
+from repro.io.fasta import parse_fasta, write_fasta
+from repro.io.fastq import parse_fastq, write_fastq
+from repro.io.records import Read
+from repro.io.readset import ReadSet
+from repro.simulate.community import CommunityConfig, build_community
+from repro.simulate.genome import Genome, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Focus parallel NGS assembler (IPDPSW 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate-genome", help="generate a random genome FASTA")
+    p.add_argument("--length", type=int, default=25_000)
+    p.add_argument("--gc", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("simulate-reads", help="shotgun-sample reads from a genome FASTA")
+    p.add_argument("--genome", required=True)
+    p.add_argument("--coverage", type=float, default=12.0)
+    p.add_argument("--read-length", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser(
+        "simulate-community", help="generate a gut-community read set (FASTQ)"
+    )
+    p.add_argument("--coverage", type=float, default=8.0)
+    p.add_argument("--read-length", type=int, default=100)
+    p.add_argument("--shared-length", type=int, default=4000)
+    p.add_argument("--private-length", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--refs", help="also write the reference genomes to this FASTA")
+
+    p = sub.add_parser("assemble", help="assemble a FASTA/FASTQ read set")
+    p.add_argument("reads")
+    p.add_argument("-o", "--output", required=True, help="contigs FASTA")
+    p.add_argument("--partitions", type=int, default=4)
+    p.add_argument("--mode", choices=("hybrid", "multilevel"), default="hybrid")
+    p.add_argument("--min-overlap", type=int, default=50)
+    p.add_argument("--min-identity", type=float, default=0.9)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("stats", help="print N50/max/count for a contig FASTA")
+    p.add_argument("contigs")
+
+    return parser
+
+
+def _load_reads(path: str) -> ReadSet:
+    if path.endswith((".fq", ".fastq")):
+        return ReadSet(parse_fastq(path))
+    return ReadSet(parse_fasta(path))
+
+
+def _cmd_simulate_genome(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    codes = random_genome(args.length, rng, gc=args.gc)
+    write_fasta([Read("genome", codes)], args.output)
+    print(f"wrote {args.length:,} bp genome to {args.output}")
+    return 0
+
+
+def _cmd_simulate_reads(args) -> int:
+    genomes = list(parse_fasta(args.genome))
+    if not genomes:
+        print("error: genome FASTA is empty", file=sys.stderr)
+        return 1
+    sim = ReadSimulator(
+        ReadSimConfig(read_length=args.read_length, coverage=args.coverage, seed=args.seed)
+    )
+    all_reads: list[Read] = []
+    for rec in genomes:
+        rs = sim.simulate_genome(Genome(rec.id, rec.codes))
+        all_reads.extend(rs)
+    write_fastq(all_reads, args.output)
+    print(f"wrote {len(all_reads):,} reads to {args.output}")
+    return 0
+
+
+def _cmd_simulate_community(args) -> int:
+    community = build_community(
+        CommunityConfig(
+            shared_length=args.shared_length, private_length=args.private_length
+        ),
+        seed=args.seed,
+    )
+    sim = ReadSimulator(
+        ReadSimConfig(read_length=args.read_length, coverage=args.coverage, seed=args.seed)
+    )
+    reads = sim.simulate_community(community)
+    write_fastq(list(reads), args.output)
+    print(f"wrote {len(reads):,} reads from {len(community.genomes)} genomes to {args.output}")
+    if args.refs:
+        write_fasta(
+            [Read(g.meta["genus"], g.codes) for g in community.genomes], args.refs
+        )
+        print(f"wrote reference genomes to {args.refs}")
+    return 0
+
+
+def _cmd_assemble(args) -> int:
+    from repro.align.overlapper import OverlapConfig
+
+    reads = _load_reads(args.reads)
+    if len(reads) == 0:
+        print("error: no reads in input", file=sys.stderr)
+        return 1
+    config = AssemblyConfig(
+        n_partitions=args.partitions,
+        partition_mode=args.mode,
+        overlap=OverlapConfig(min_overlap=args.min_overlap, min_identity=args.min_identity),
+        seed=args.seed,
+    )
+    result = FocusAssembler(config).assemble(reads)
+    contigs = [
+        Read(f"contig_{i}", c) for i, c in enumerate(result.contigs)
+    ]
+    write_fasta(contigs, args.output)
+    s = result.stats
+    print(result.timer.report())
+    print(
+        f"assembled {len(reads):,} reads -> {s.n_contigs} contigs "
+        f"(N50 {s.n50:,} bp, max {s.max_contig:,} bp) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    lengths = [len(rec) for rec in parse_fasta(args.contigs)]
+    if not lengths:
+        print("error: no contigs in input", file=sys.stderr)
+        return 1
+    s = AssemblyStats.from_contigs([np.zeros(n, dtype=np.uint8) for n in lengths])
+    print(f"contigs:     {s.n_contigs}")
+    print(f"total bases: {s.total_bases:,}")
+    print(f"N50:         {s.n50:,} bp")
+    print(f"max contig:  {s.max_contig:,} bp")
+    print(f"mean contig: {s.mean_contig:,.1f} bp")
+    return 0
+
+
+_COMMANDS = {
+    "simulate-genome": _cmd_simulate_genome,
+    "simulate-reads": _cmd_simulate_reads,
+    "simulate-community": _cmd_simulate_community,
+    "assemble": _cmd_assemble,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,67 @@
+"""AssemblyConfig: all knobs of the Focus pipeline in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.align.overlapper import OverlapConfig
+from repro.graph.coarsen import CoarsenConfig
+from repro.partition.recursive import PartitionConfig
+
+__all__ = ["AssemblyConfig"]
+
+
+@dataclass(frozen=True)
+class AssemblyConfig:
+    """End-to-end configuration of a Focus run.
+
+    Defaults follow the paper's evaluation: 50 bp minimum overlap, 90%
+    minimum identity, partitioning on the hybrid graph set.
+    """
+
+    # -- preprocessing (paper §II-A) --
+    trim5: int = 0
+    trim3: int = 0
+    quality_window: int = 10
+    quality_step: int = 1
+    min_quality: float = 15.0
+    min_read_length: int = 50
+    #: add each read's reverse complement (paper §II-A).  Required for
+    #: full-coverage assembly of two-stranded data; mirrored contigs
+    #: are deduplicated at the end when ``dedupe_rc`` is set.
+    add_reverse_complements: bool = True
+    dedupe_rc: bool = True
+
+    # -- stage configs --
+    overlap: OverlapConfig = field(default_factory=OverlapConfig)
+    coarsen: CoarsenConfig = field(default_factory=CoarsenConfig)
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+
+    # -- graph construction --
+    #: offset slack allowed in cluster layouts (0 = exact diagonals).
+    layout_tolerance: int = 0
+    #: weight consensus votes by Phred base quality.
+    quality_weighted_consensus: bool = False
+
+    # -- partitioning --
+    #: number of graph partitions (k = 2^i).
+    n_partitions: int = 4
+    #: "hybrid" (the paper's contribution) or "multilevel" (naive baseline).
+    partition_mode: str = "hybrid"
+
+    # -- distributed graph cleaning (paper §V) --
+    transitive_tolerance: int = 2
+    containment_min_overlap: int = 50
+    containment_min_identity: float = 0.9
+    max_tip_bases: int = 150
+    run_trimming: bool = True
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1 or (self.n_partitions & (self.n_partitions - 1)) != 0:
+            raise ValueError("n_partitions must be a power of two")
+        if self.partition_mode not in ("hybrid", "multilevel"):
+            raise ValueError(f"unknown partition_mode {self.partition_mode!r}")
+        if self.min_read_length < 1:
+            raise ValueError("min_read_length must be positive")

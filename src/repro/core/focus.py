@@ -1,0 +1,278 @@
+"""The Focus assembler pipeline (paper §II).
+
+``FocusAssembler.assemble`` runs the six component steps end to end:
+read preprocessing, read alignment, multilevel graph set generation,
+hybrid graph set generation, hybrid graph trimming, and hybrid graph
+traversal — with the distributed stages executed on the simulated MPI
+cluster over the configured number of graph partitions.
+
+The pipeline is split into :meth:`FocusAssembler.prepare` (everything
+up to and including the hybrid graph — independent of the partition
+count) and :meth:`FocusAssembler.finish` (partition, trim, traverse,
+contigs), so benchmarks can sweep partition counts without re-aligning
+reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.overlapper import OverlapDetector
+from repro.core.config import AssemblyConfig
+from repro.core.pipeline import StageTimer
+from repro.core.stats import AssemblyStats
+from repro.distributed.containment import containment_removal
+from repro.distributed.dgraph import DistributedAssemblyGraph, HybridAssembly, enrich_hybrid
+from repro.distributed.transitive import transitive_reduction
+from repro.distributed.traversal import contigs_from_paths, maximal_paths
+from repro.distributed.trimming import pop_bubbles, trim_dead_ends
+from repro.graph.coarsen import MultilevelGraphSet, build_multilevel_set
+from repro.graph.hybrid import HybridGraphSet, build_hybrid_set
+from repro.graph.overlap_graph import OverlapGraph
+from repro.io.readset import ReadSet
+from repro.mpi.cluster import SimCluster
+from repro.mpi.timing import CommCostModel
+from repro.partition.multilevel import (
+    PartitionResult,
+    partition_via_hybrid,
+    partition_via_multilevel,
+)
+from repro.sequence.dna import decode, reverse_complement
+
+__all__ = ["PreparedAssembly", "AssemblyResult", "FocusAssembler", "deduplicate_contigs"]
+
+
+def deduplicate_contigs(
+    contigs: list[np.ndarray], min_identity: float = 0.98
+) -> list[np.ndarray]:
+    """Drop contigs that duplicate another up to reverse complement.
+
+    With reverse-complement-augmented reads every genomic region
+    assembles twice (once per strand).  The mirror assemblies are built
+    from independent consensus calls, so they can differ by a few
+    bases or an end offset — containment is therefore checked by
+    k-mer-anchored placement at ``min_identity``, not exact substring
+    match.  The longer spelling of each mirrored/contained group wins.
+    """
+    from repro.analysis.mapping import SequenceMapper
+
+    order = sorted(range(len(contigs)), key=lambda i: -contigs[i].size)
+    kept: list[np.ndarray] = []
+    kept_strings: list[str] = []
+    mapper: SequenceMapper | None = None
+    mapper_size = 0
+    for i in order:
+        contig = contigs[i]
+        seq = decode(contig)
+        rc = decode(reverse_complement(contig))
+        # Fast path: exact containment.
+        if any(seq in k or rc in k for k in kept_strings):
+            continue
+        # Near-duplicate path: placement on a kept contig at >= 98%.
+        if kept and contig.size >= 64:
+            if mapper is None or mapper_size != len(kept):
+                mapper = SequenceMapper(kept, k=21)
+                mapper_size = len(kept)
+            hit = mapper.place(contig, min_identity=min_identity, min_votes=3)
+            if hit is not None:
+                continue
+        kept.append(contig)
+        kept_strings.append(seq)
+        mapper = None  # rebuilt lazily on next candidate
+    return kept
+
+
+@dataclass
+class PreparedAssembly:
+    """Partition-count-independent intermediate state of a Focus run."""
+
+    reads: ReadSet
+    g0: OverlapGraph
+    mls: MultilevelGraphSet
+    hyb: HybridGraphSet
+    assembly: HybridAssembly
+    timer: StageTimer
+
+
+@dataclass
+class AssemblyResult:
+    """Everything an assembly run produced, for analysis and benches."""
+
+    contigs: list[np.ndarray]
+    stats: AssemblyStats
+    timer: StageTimer
+    #: virtual (simulated-cluster) seconds per distributed stage.
+    virtual_times: dict[str, float]
+    processed_reads: ReadSet
+    g0: OverlapGraph
+    mls: MultilevelGraphSet
+    hyb: HybridGraphSet
+    assembly: HybridAssembly
+    dag: DistributedAssemblyGraph
+    partition: PartitionResult
+    paths: list[list[int]] = field(default_factory=list)
+
+    @property
+    def read_partitions(self) -> np.ndarray:
+        """Partition id of every processed read (via its hybrid node)."""
+        return self.partition.labels_finest[self.hyb.base_maps[0]]
+
+    def contig_sequences(self) -> list[str]:
+        return [decode(c) for c in self.contigs]
+
+
+class FocusAssembler:
+    """End-to-end Focus assembly on the simulated cluster."""
+
+    def __init__(
+        self,
+        config: AssemblyConfig | None = None,
+        cost_model: CommCostModel | None = None,
+    ) -> None:
+        self.config = config or AssemblyConfig()
+        self.cost_model = cost_model or CommCostModel()
+
+    # -- stages ----------------------------------------------------------
+
+    def preprocess(self, reads: ReadSet) -> ReadSet:
+        cfg = self.config
+        out = reads.trimmed(
+            trim5=cfg.trim5,
+            trim3=cfg.trim3,
+            window=cfg.quality_window,
+            step=cfg.quality_step,
+            min_quality=cfg.min_quality,
+            min_length=cfg.min_read_length,
+        )
+        if cfg.add_reverse_complements:
+            out = out.with_reverse_complements()
+        return out
+
+    def prepare(self, reads: ReadSet) -> PreparedAssembly:
+        """Preprocess, align, and build the graph structures."""
+        cfg = self.config
+        timer = StageTimer()
+        with timer.stage("preprocess"):
+            rs = self.preprocess(reads)
+        if len(rs) == 0:
+            raise ValueError("no reads survived preprocessing")
+        with timer.stage("align"):
+            overlaps = OverlapDetector(cfg.overlap).find_overlaps(rs)
+        with timer.stage("overlap_graph"):
+            g0 = OverlapGraph.from_overlaps(overlaps, len(rs))
+        with timer.stage("coarsen"):
+            mls = build_multilevel_set(g0, cfg.coarsen)
+        with timer.stage("hybrid"):
+            hyb = build_hybrid_set(mls, rs.lengths, tolerance=cfg.layout_tolerance)
+        with timer.stage("enrich"):
+            assembly = enrich_hybrid(
+                hyb,
+                g0,
+                rs,
+                tolerance=cfg.layout_tolerance,
+                quality_weighted=cfg.quality_weighted_consensus,
+            )
+        return PreparedAssembly(
+            reads=rs, g0=g0, mls=mls, hyb=hyb, assembly=assembly, timer=timer
+        )
+
+    def _hybrid_labels(
+        self, result: PartitionResult, hyb: HybridGraphSet
+    ) -> np.ndarray:
+        """Partition label per hybrid node, whatever mode produced it."""
+        if result.labels_finest.size == hyb.hybrid.n_nodes:
+            return result.labels_finest
+        # multilevel mode: labels live on G0; vote per hybrid cluster.
+        k = result.k
+        votes = np.zeros((hyb.hybrid.n_nodes, k), dtype=np.int64)
+        np.add.at(votes, (hyb.base_maps[0], result.labels_g0), 1)
+        return votes.argmax(axis=1).astype(np.int64)
+
+    def finish(
+        self,
+        prep: PreparedAssembly,
+        n_partitions: int | None = None,
+        partition_mode: str | None = None,
+    ) -> AssemblyResult:
+        """Partition, trim, traverse, and build contigs.
+
+        May be called repeatedly on one :class:`PreparedAssembly` with
+        different partition counts/modes; each call works on a fresh
+        distributed view.
+        """
+        cfg = self.config
+        k = cfg.n_partitions if n_partitions is None else n_partitions
+        mode = cfg.partition_mode if partition_mode is None else partition_mode
+        if k < 1 or (k & (k - 1)) != 0:
+            raise ValueError("n_partitions must be a power of two")
+        if mode not in ("hybrid", "multilevel"):
+            raise ValueError(f"unknown partition_mode {mode!r}")
+
+        timer = StageTimer()
+        timer.durations.update(prep.timer.durations)
+        virtual: dict[str, float] = {}
+
+        with timer.stage("partition"):
+            if mode == "hybrid":
+                part = partition_via_hybrid(prep.mls, prep.hyb, k, cfg.partition)
+            else:
+                part = partition_via_multilevel(prep.mls, k, cfg.partition)
+            labels_h = self._hybrid_labels(part, prep.hyb)
+            if mode == "multilevel":
+                part.labels_finest = labels_h
+
+        dag = DistributedAssemblyGraph(prep.assembly, labels_h)
+        cluster = SimCluster(k, cost_model=self.cost_model, deadlock_timeout=600.0)
+
+        if cfg.run_trimming:
+            with timer.stage("trim"):
+                _, s = cluster.run(
+                    transitive_reduction, dag, tolerance=cfg.transitive_tolerance
+                )
+                virtual["transitive"] = s.elapsed
+                _, s = cluster.run(
+                    containment_removal,
+                    dag,
+                    min_overlap=cfg.containment_min_overlap,
+                    min_identity=cfg.containment_min_identity,
+                )
+                virtual["containment"] = s.elapsed
+                _, s = cluster.run(trim_dead_ends, dag, max_tip_bases=cfg.max_tip_bases)
+                virtual["dead_ends"] = s.elapsed
+                _, s = cluster.run(pop_bubbles, dag)
+                virtual["bubbles"] = s.elapsed
+                virtual["trim_total"] = sum(
+                    virtual[key]
+                    for key in ("transitive", "containment", "dead_ends", "bubbles")
+                )
+
+        with timer.stage("traverse"):
+            results, s = cluster.run(maximal_paths, dag)
+            paths = results[0]
+            virtual["traversal"] = s.elapsed
+
+        with timer.stage("contigs"):
+            contigs = contigs_from_paths(dag, paths)
+            if cfg.add_reverse_complements and cfg.dedupe_rc:
+                contigs = deduplicate_contigs(contigs)
+
+        return AssemblyResult(
+            contigs=contigs,
+            stats=AssemblyStats.from_contigs(contigs),
+            timer=timer,
+            virtual_times=virtual,
+            processed_reads=prep.reads,
+            g0=prep.g0,
+            mls=prep.mls,
+            hyb=prep.hyb,
+            assembly=prep.assembly,
+            dag=dag,
+            partition=part,
+            paths=paths,
+        )
+
+    def assemble(self, reads: ReadSet) -> AssemblyResult:
+        """prepare + finish in one call."""
+        return self.finish(self.prepare(reads))

@@ -1,0 +1,44 @@
+"""Stage timing for the assembly pipeline."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Collects named wall-clock stage durations in insertion order."""
+
+    def __init__(self) -> None:
+        self.durations: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.durations[name] = self.durations.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration (e.g. virtual time)."""
+        if seconds < 0:
+            raise ValueError("duration must be non-negative")
+        self.durations[name] = self.durations.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.durations.values())
+
+    def report(self) -> str:
+        """Human-readable per-stage table."""
+        if not self.durations:
+            return "(no stages timed)"
+        width = max(len(k) for k in self.durations)
+        lines = [f"{k:<{width}}  {v:9.4f}s" for k, v in self.durations.items()]
+        lines.append(f"{'total':<{width}}  {self.total:9.4f}s")
+        return "\n".join(lines)

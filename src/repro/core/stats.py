@@ -1,0 +1,50 @@
+"""Assembly statistics: N50, max contig, contig counts (Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["n50", "AssemblyStats"]
+
+
+def n50(lengths) -> int:
+    """The classic N50: length L such that contigs >= L hold >= half the bases.
+
+    Returns 0 for an empty assembly.
+    """
+    lengths = np.asarray(list(lengths), dtype=np.int64)
+    if lengths.size == 0:
+        return 0
+    if (lengths < 0).any():
+        raise ValueError("contig lengths must be non-negative")
+    desc = np.sort(lengths)[::-1]
+    half = lengths.sum() / 2.0
+    csum = np.cumsum(desc)
+    idx = int(np.searchsorted(csum, half))
+    return int(desc[min(idx, desc.size - 1)])
+
+
+@dataclass(frozen=True)
+class AssemblyStats:
+    """Summary of one assembly (the columns of Table III)."""
+
+    n_contigs: int
+    total_bases: int
+    n50: int
+    max_contig: int
+    mean_contig: float
+
+    @classmethod
+    def from_contigs(cls, contigs) -> "AssemblyStats":
+        lengths = [int(np.asarray(c).size) for c in contigs]
+        if not lengths:
+            return cls(n_contigs=0, total_bases=0, n50=0, max_contig=0, mean_contig=0.0)
+        return cls(
+            n_contigs=len(lengths),
+            total_bases=sum(lengths),
+            n50=n50(lengths),
+            max_contig=max(lengths),
+            mean_contig=sum(lengths) / len(lengths),
+        )

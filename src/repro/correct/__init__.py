@@ -1,0 +1,15 @@
+"""Spectral read error correction.
+
+Sequencing errors produce rare ("weak") k-mers; true genomic k-mers
+recur ~coverage times ("solid").  The classic spectral-alignment idea
+(Pevzner et al.; Quake; Musket) corrects a read by substituting bases
+so that every k-mer it contains becomes solid.  Correcting reads before
+overlap detection sharpens overlap identities and reduces dead-end /
+bubble load downstream — the ablation bench quantifies the effect on
+the Focus pipeline.
+"""
+
+from repro.correct.corrector import CorrectionStats, ReadCorrector
+from repro.correct.spectrum import KmerSpectrum
+
+__all__ = ["KmerSpectrum", "ReadCorrector", "CorrectionStats"]

@@ -1,0 +1,142 @@
+"""Spectral-alignment read correction.
+
+For each read, the corrector finds *weak* k-mer windows (multiplicity
+below the spectrum threshold).  Every base covered exclusively by weak
+windows is an error candidate; candidates are tried left to right, and
+a substitution is accepted if it turns every k-mer spanning that base
+solid.  Reads whose weak windows survive all attempts are reported
+uncorrectable (and can be dropped by the caller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.correct.spectrum import KmerSpectrum
+from repro.io.records import Read
+from repro.io.readset import ReadSet
+from repro.sequence.kmers import canonical_kmer_codes
+
+__all__ = ["CorrectionStats", "ReadCorrector"]
+
+
+@dataclass
+class CorrectionStats:
+    """Aggregate outcome of correcting a read set."""
+
+    n_reads: int = 0
+    n_clean: int = 0
+    n_corrected: int = 0
+    n_uncorrectable: int = 0
+    n_bases_changed: int = 0
+
+
+class ReadCorrector:
+    """Corrects substitution errors against a k-mer spectrum."""
+
+    def __init__(
+        self,
+        spectrum: KmerSpectrum,
+        max_corrections_per_read: int = 4,
+    ) -> None:
+        if max_corrections_per_read < 1:
+            raise ValueError("max_corrections_per_read must be positive")
+        self.spectrum = spectrum
+        self.max_corrections = max_corrections_per_read
+
+    # -- single-read machinery ------------------------------------------------
+
+    def _weak_windows(self, codes: np.ndarray) -> np.ndarray:
+        """Boolean per k-mer window: True where the window is weak."""
+        vals = canonical_kmer_codes(codes, self.spectrum.k)
+        solid = self.spectrum.is_solid(vals)
+        # windows containing N (vals < 0) count as weak
+        return ~(solid & (vals >= 0))
+
+    def _error_candidates(self, weak: np.ndarray, read_len: int) -> list[int]:
+        """Positions covered only by weak windows, most-covered first.
+
+        A single substitution error at position p makes exactly the
+        windows overlapping p weak, so p is covered by weak windows
+        only.
+        """
+        k = self.spectrum.k
+        n_windows = weak.size
+        cover_weak = np.zeros(read_len, dtype=np.int64)
+        cover_total = np.zeros(read_len, dtype=np.int64)
+        for w in range(n_windows):
+            cover_total[w : w + k] += 1
+            if weak[w]:
+                cover_weak[w : w + k] += 1
+        only_weak = (cover_weak == cover_total) & (cover_total > 0)
+        candidates = np.flatnonzero(only_weak)
+        order = np.argsort(-cover_weak[candidates], kind="stable")
+        return candidates[order].tolist()
+
+    def _try_fix(self, codes: np.ndarray, pos: int) -> int | None:
+        """Best substitute base at ``pos`` that solidifies its windows."""
+        k = self.spectrum.k
+        lo = max(0, pos - k + 1)
+        hi = min(codes.size - k + 1, pos + 1)
+        if hi <= lo:
+            return None
+        original = int(codes[pos])
+        best: tuple[int, int] | None = None  # (total count, base)
+        for base in range(4):
+            if base == original:
+                continue
+            trial = codes.copy()
+            trial[pos] = base
+            vals = canonical_kmer_codes(trial[lo : hi + k - 1], k)
+            if bool(self.spectrum.is_solid(vals).all()):
+                score = int(self.spectrum.counts_of(vals).sum())
+                if best is None or score > best[0]:
+                    best = (score, base)
+        return None if best is None else best[1]
+
+    def correct_read(self, codes: np.ndarray) -> tuple[np.ndarray, int, bool]:
+        """(corrected codes, bases changed, fully clean?)."""
+        codes = np.asarray(codes, dtype=np.uint8).copy()
+        if codes.size < self.spectrum.k:
+            return codes, 0, True  # too short to judge; leave alone
+        changed = 0
+        for _ in range(self.max_corrections):
+            weak = self._weak_windows(codes)
+            if not weak.any():
+                return codes, changed, True
+            fixed_one = False
+            for pos in self._error_candidates(weak, codes.size):
+                base = self._try_fix(codes, pos)
+                if base is not None:
+                    codes[pos] = base
+                    changed += 1
+                    fixed_one = True
+                    break
+            if not fixed_one:
+                break
+        clean = not self._weak_windows(codes).any()
+        return codes, changed, clean
+
+    # -- read-set API --------------------------------------------------------------
+
+    def correct_readset(
+        self, reads: ReadSet, drop_uncorrectable: bool = False
+    ) -> tuple[ReadSet, CorrectionStats]:
+        """Correct every read; optionally drop reads that stay weak."""
+        stats = CorrectionStats(n_reads=len(reads))
+        out: list[Read] = []
+        for i in range(len(reads)):
+            codes, changed, clean = self.correct_read(reads.codes_of(i))
+            if changed == 0 and clean:
+                stats.n_clean += 1
+            elif changed > 0 and clean:
+                stats.n_corrected += 1
+                stats.n_bases_changed += changed
+            else:
+                stats.n_uncorrectable += 1
+                if drop_uncorrectable:
+                    continue
+            out.append(Read(reads.ids[i], codes, reads.quals_of(i), reads.meta[i]))
+        return ReadSet(out), stats

@@ -1,0 +1,95 @@
+"""The k-mer spectrum: canonical k-mer multiplicities of a read set."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.readset import ReadSet
+from repro.sequence.kmers import canonical_kmer_codes
+
+__all__ = ["KmerSpectrum"]
+
+
+class KmerSpectrum:
+    """Sorted canonical k-mer counts with a solidity threshold.
+
+    A k-mer is *solid* if it occurs at least ``threshold`` times.  The
+    default threshold is estimated from the count histogram: the valley
+    between the error peak (count 1-2) and the coverage peak.
+    """
+
+    def __init__(self, reads: ReadSet, k: int = 21, threshold: int | None = None) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        parts = []
+        for i in range(len(reads)):
+            vals = canonical_kmer_codes(reads.codes_of(i), k)
+            parts.append(vals[vals >= 0])
+        allvals = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        self.kmers, self.counts = (
+            np.unique(allvals, return_counts=True)
+            if allvals.size
+            else (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        )
+        self.threshold = self.estimate_threshold() if threshold is None else int(threshold)
+        if self.threshold < 1:
+            raise ValueError("threshold must be positive")
+
+    # -- statistics ----------------------------------------------------------
+
+    def histogram(self, max_count: int = 64) -> np.ndarray:
+        """h[c] = number of distinct k-mers with multiplicity c (c <= max)."""
+        h = np.zeros(max_count + 1, dtype=np.int64)
+        if self.counts.size:
+            clipped = np.minimum(self.counts, max_count)
+            np.add.at(h, clipped, 1)
+        return h
+
+    def estimate_threshold(self) -> int:
+        """First local minimum of the histogram after count 1.
+
+        Falls back to 2 when the histogram is too flat to show a valley
+        (very low or very uniform coverage).
+        """
+        h = self.histogram()
+        for c in range(2, h.size - 1):
+            if h[c] <= h[c - 1] and h[c] <= h[c + 1]:
+                return max(2, c)
+        return 2
+
+    # -- queries ----------------------------------------------------------------
+
+    def count(self, value: int) -> int:
+        """Multiplicity of one canonical k-mer value."""
+        idx = np.searchsorted(self.kmers, value)
+        if idx < self.kmers.size and self.kmers[idx] == value:
+            return int(self.counts[idx])
+        return 0
+
+    def counts_of(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised multiplicities (invalid entries < 0 count 0)."""
+        values = np.asarray(values, dtype=np.int64)
+        out = np.zeros(values.size, dtype=np.int64)
+        if self.kmers.size == 0 or values.size == 0:
+            return out
+        valid = values >= 0
+        idx = np.searchsorted(self.kmers, values[valid])
+        idx = np.clip(idx, 0, self.kmers.size - 1)
+        hit = self.kmers[idx] == values[valid]
+        found = np.zeros(int(valid.sum()), dtype=np.int64)
+        found[hit] = self.counts[idx[hit]]
+        out[valid] = found
+        return out
+
+    def is_solid(self, values: np.ndarray) -> np.ndarray:
+        """Boolean solidity per (canonical) k-mer value."""
+        return self.counts_of(values) >= self.threshold
+
+    @property
+    def n_distinct(self) -> int:
+        return int(self.kmers.size)
+
+    @property
+    def n_solid(self) -> int:
+        return int((self.counts >= self.threshold).sum())

@@ -1,0 +1,85 @@
+"""Distributed containment removal and false-edge filtering (paper §V-B).
+
+Workers align each of their nodes' contigs against neighbouring
+contigs.  A node whose contig is contained in a neighbour's (at
+sufficient identity) is redundant and recorded for removal; an edge
+whose implied contig overlap is shorter than 50 bp is a false positive
+and also recorded.  The master applies both removals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.dgraph import DistributedAssemblyGraph
+from repro.mpi.simcomm import SimComm
+from repro.sequence.dna import hamming_identity
+
+__all__ = ["find_containments", "containment_removal"]
+
+
+def _contained_identity(
+    inner: np.ndarray, outer: np.ndarray, start: int
+) -> float:
+    """Identity of ``inner`` vs the slice of ``outer`` starting at ``start``."""
+    seg = outer[start : start + inner.size]
+    if seg.size != inner.size:
+        return 0.0
+    return hamming_identity(inner, seg)
+
+
+def find_containments(
+    dag: DistributedAssemblyGraph,
+    nodes: np.ndarray,
+    min_overlap: int = 50,
+    min_identity: float = 0.9,
+) -> tuple[list[int], list[int]]:
+    """(contained node ids, false-positive edge ids) seen from ``nodes``."""
+    dead_nodes: list[int] = []
+    dead_edges: list[int] = []
+    g = dag.graph
+    contigs = dag.assembly.contigs
+    for v in np.asarray(nodes).tolist():
+        cv = contigs[v]
+        nbrs, eids = dag.alive_incident(v)
+        for u, e in zip(nbrs.tolist(), eids.tolist()):
+            d = g.edge_delta(e, v)  # offset of u's contig relative to v's
+            cu = contigs[u]
+            overlap = min(cv.size, d + cu.size) - max(0, d)
+            if overlap < min_overlap:
+                dead_edges.append(e)
+                continue
+            # v contained in u: u's interval [d, d+|cu|) covers [0, |cv|).
+            if d <= 0 and d + cu.size >= cv.size:
+                # Mutual (exactly coextensive) containments keep the
+                # lower-id node, otherwise identical contigs would all
+                # remove each other.
+                proper = d < 0 or d + cu.size > cv.size
+                if (proper or v > u) and _contained_identity(cv, cu, -d) >= min_identity:
+                    dead_nodes.append(v)
+                    break
+    return dead_nodes, dead_edges
+
+
+def containment_removal(
+    comm: SimComm,
+    dag: DistributedAssemblyGraph,
+    min_overlap: int = 50,
+    min_identity: float = 0.9,
+) -> tuple[int, int]:
+    """MPI-style containment removal; returns (nodes, edges) removed."""
+    with comm.timed():
+        local = find_containments(
+            dag, dag.partition_nodes(comm.rank), min_overlap, min_identity
+        )
+    gathered = comm.gather(local, root=0)
+    result = None
+    if comm.rank == 0:
+        with comm.timed():
+            nodes: set[int] = set()
+            edges: set[int] = set()
+            for n_part, e_part in gathered:
+                nodes.update(n_part)
+                edges.update(e_part)
+            result = (dag.remove_nodes(nodes), dag.remove_edges(edges))
+    return comm.bcast(result, root=0)

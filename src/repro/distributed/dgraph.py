@@ -1,0 +1,215 @@
+"""The distributed assembly graph: hybrid nodes as contigs.
+
+``enrich_hybrid`` lifts the hybrid graph H0 into assembly form: every
+hybrid node's read cluster (contiguous by construction) is laid out
+and collapsed to a consensus *contig*, and every hybrid edge gets a
+*delta* — the genomic offset of one contig relative to the other,
+derived from the heaviest crossing G0 overlap — plus an implied
+contig-overlap length.
+
+``DistributedAssemblyGraph`` wraps the enriched graph with partition
+ownership and alive-masks.  Workers only read; the master applies the
+removals they report (paper §V), so no locking is needed beyond the
+gather/apply barrier the algorithms already have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.contigs import cluster_layout_offsets, consensus_from_layout
+from repro.graph.hybrid import HybridGraphSet
+from repro.graph.overlap_graph import OverlapGraph
+from repro.io.readset import ReadSet
+
+__all__ = ["HybridAssembly", "enrich_hybrid", "DistributedAssemblyGraph"]
+
+
+@dataclass
+class HybridAssembly:
+    """The enriched hybrid graph plus per-node contigs."""
+
+    #: hybrid graph with contig-level deltas; weight = implied contig overlap.
+    graph: OverlapGraph
+    #: consensus contig per hybrid node.
+    contigs: list[np.ndarray]
+    #: G0 read members per hybrid node.
+    clusters: list[np.ndarray]
+
+    @property
+    def contig_lengths(self) -> np.ndarray:
+        return np.array([c.size for c in self.contigs], dtype=np.int64)
+
+
+def enrich_hybrid(
+    hyb: HybridGraphSet,
+    g0: OverlapGraph,
+    reads: ReadSet,
+    tolerance: int = 0,
+    quality_weighted: bool = False,
+) -> HybridAssembly:
+    """Contigs + contig-level edge geometry for the hybrid graph."""
+    h = hyb.hybrid
+    clusters = hyb.clusters_of_hybrid()
+    contigs: list[np.ndarray] = []
+    # read -> offset within its cluster's layout.
+    read_offset = np.zeros(g0.n_nodes, dtype=np.int64)
+    for cluster in clusters:
+        offsets = cluster_layout_offsets(g0, cluster, tolerance=tolerance)
+        if offsets is None:
+            raise RuntimeError(
+                "hybrid cluster admits no layout; representative selection is broken"
+            )
+        read_offset[cluster] = offsets
+        segments = consensus_from_layout(
+            reads, cluster, offsets, quality_weighted=quality_weighted
+        )
+        if len(segments) != 1:
+            raise RuntimeError("hybrid cluster consensus is not contiguous")
+        contigs.append(segments[0])
+
+    lengths = np.array([c.size for c in contigs], dtype=np.int64)
+    bm = hyb.base_maps[0]
+    hu = bm[g0.eu]
+    hv = bm[g0.ev]
+    crossing = hu != hv
+    if crossing.any():
+        cu, cv = hu[crossing], hv[crossing]
+        w = g0.weights[crossing]
+        # Offset of hv's contig relative to hu's, implied by each
+        # crossing read overlap.
+        d = read_offset[g0.eu[crossing]] + g0.deltas[crossing] - read_offset[g0.ev[crossing]]
+        # Normalise pair orientation and pick the heaviest witness.
+        flip = cu > cv
+        cu2 = np.where(flip, cv, cu)
+        cv2 = np.where(flip, cu, cv)
+        d2 = np.where(flip, -d, d)
+        order = np.lexsort((w, cv2, cu2))
+        cu2, cv2, d2, w = cu2[order], cv2[order], d2[order], w[order]
+        last = np.ones(cu2.size, dtype=bool)
+        last[:-1] = (cu2[1:] != cu2[:-1]) | (cv2[1:] != cv2[:-1])
+        eu, ev, deltas = cu2[last], cv2[last], d2[last]
+        # Implied contig overlap: intervals [0, L_eu) and [d, d+L_ev).
+        ov = np.minimum(lengths[eu], deltas + lengths[ev]) - np.maximum(0, deltas)
+        weights = np.maximum(ov, 1).astype(np.float64)
+    else:
+        eu = ev = deltas = np.empty(0, dtype=np.int64)
+        weights = np.empty(0, dtype=np.float64)
+
+    graph = OverlapGraph(
+        h.n_nodes,
+        eu,
+        ev,
+        weights,
+        node_weights=h.node_weights,
+        deltas=deltas,
+    )
+    return HybridAssembly(graph=graph, contigs=contigs, clusters=clusters)
+
+
+class DistributedAssemblyGraph:
+    """Partition-owned view of a :class:`HybridAssembly` with alive masks."""
+
+    def __init__(self, assembly: HybridAssembly, labels: np.ndarray) -> None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.size != assembly.graph.n_nodes:
+            raise ValueError("labels must cover every hybrid node")
+        if labels.size and labels.min() < 0:
+            raise ValueError("labels must be non-negative")
+        self.assembly = assembly
+        self.graph = assembly.graph
+        self.labels = labels
+        self.n_parts = int(labels.max()) + 1 if labels.size else 0
+        self.node_alive = np.ones(self.graph.n_nodes, dtype=bool)
+        self.edge_alive = np.ones(self.graph.n_edges, dtype=bool)
+
+    # -- partition views ---------------------------------------------------
+
+    def partition_nodes(self, part: int) -> np.ndarray:
+        """Alive nodes owned by ``part``."""
+        return np.flatnonzero((self.labels == part) & self.node_alive)
+
+    def alive_incident(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbour ids, edge ids) of v's alive incident edges."""
+        lo, hi = self.graph.indptr[v], self.graph.indptr[v + 1]
+        nbrs = self.graph.adj[lo:hi]
+        eids = self.graph.adj_edge[lo:hi]
+        keep = self.edge_alive[eids] & self.node_alive[nbrs]
+        return nbrs[keep], eids[keep]
+
+    def alive_degree(self, v: int) -> int:
+        return int(self.alive_incident(v)[0].size)
+
+    def _directed_deltas(self, v: int, eids: np.ndarray) -> np.ndarray:
+        """Deltas of the given edges as seen from endpoint ``v``."""
+        return np.where(self.graph.eu[eids] == v, self.graph.deltas[eids], -self.graph.deltas[eids])
+
+    def out_edges(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Alive edges extending v to the right (positive delta)."""
+        nbrs, eids = self.alive_incident(v)
+        pos = self._directed_deltas(v, eids) > 0
+        return nbrs[pos], eids[pos]
+
+    def in_edges(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Alive edges extending v to the left (negative delta)."""
+        nbrs, eids = self.alive_incident(v)
+        neg = self._directed_deltas(v, eids) < 0
+        return nbrs[neg], eids[neg]
+
+    def direction_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(out_deg, out_next, in_deg, in_next) over alive edges.
+
+        Vectorised snapshot of edge directions: ``out_next[v]`` is v's
+        unique right neighbour when ``out_deg[v] == 1`` (undefined
+        otherwise), and symmetrically for in-edges.  Zero-delta edges
+        (pure containments, normally removed by then) count as
+        neither.  Path traversal consults these tables instead of
+        slicing adjacency per node.
+        """
+        g = self.graph
+        alive = self.edge_alive & self.node_alive[g.eu] & self.node_alive[g.ev]
+        eu, ev, d = g.eu[alive], g.ev[alive], g.deltas[alive]
+        pos, neg = d > 0, d < 0
+        out_src = np.concatenate([eu[pos], ev[neg]])
+        out_dst = np.concatenate([ev[pos], eu[neg]])
+        in_src = np.concatenate([eu[neg], ev[pos]])
+        in_dst = np.concatenate([ev[neg], eu[pos]])
+        n = g.n_nodes
+        out_deg = np.bincount(out_src, minlength=n)
+        in_deg = np.bincount(in_src, minlength=n)
+        out_next = np.full(n, -1, dtype=np.int64)
+        out_next[out_src] = out_dst
+        in_next = np.full(n, -1, dtype=np.int64)
+        in_next[in_src] = in_dst
+        return out_deg, out_next, in_deg, in_next
+
+    # -- master mutations -----------------------------------------------------
+
+    def remove_edges(self, edge_ids) -> int:
+        """Kill edges; returns how many were alive."""
+        edge_ids = np.asarray(list(edge_ids), dtype=np.int64)
+        if edge_ids.size == 0:
+            return 0
+        n = int(self.edge_alive[edge_ids].sum())
+        self.edge_alive[edge_ids] = False
+        return n
+
+    def remove_nodes(self, node_ids) -> int:
+        """Kill nodes (and implicitly their edges); returns alive count."""
+        node_ids = np.asarray(list(node_ids), dtype=np.int64)
+        if node_ids.size == 0:
+            return 0
+        n = int(self.node_alive[node_ids].sum())
+        self.node_alive[node_ids] = False
+        return n
+
+    @property
+    def n_alive_nodes(self) -> int:
+        return int(self.node_alive.sum())
+
+    @property
+    def n_alive_edges(self) -> int:
+        alive = self.edge_alive & self.node_alive[self.graph.eu] & self.node_alive[self.graph.ev]
+        return int(alive.sum())

@@ -1,0 +1,129 @@
+"""Distributed error removal: dead-end trimming and bubble popping.
+
+Paper §V-C, after Velvet's tour bus ideas [16]:
+
+- a *dead end* is a short chain hanging off a junction: a degree-1 tip
+  followed by at most ``max_tip_nodes`` degree-2 nodes ending at a node
+  of degree >= 3 — sequencing errors create such spurs;
+- a *bubble* is a pair of parallel single-node paths ``v - a - w`` /
+  ``v - b - w``; the lighter branch is popped.
+
+Workers detect within their partitions; the master removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.dgraph import DistributedAssemblyGraph
+from repro.mpi.simcomm import SimComm
+
+__all__ = ["find_dead_ends", "trim_dead_ends", "find_bubbles", "pop_bubbles"]
+
+
+def find_dead_ends(
+    dag: DistributedAssemblyGraph, nodes: np.ndarray, max_tip_bases: int = 150
+) -> list[int]:
+    """Nodes of short dead-end chains starting at tips in ``nodes``.
+
+    A chain is trimmed only if it hangs off a junction (degree >= 3)
+    and its total contig bases do not exceed ``max_tip_bases`` —
+    Velvet's "tips shorter than 2k" rule transplanted to the overlap
+    model, so a genuine long backbone end is never mistaken for an
+    error spur.
+    """
+    out: list[int] = []
+    contig_len = dag.assembly.contig_lengths
+    for v in np.asarray(nodes).tolist():
+        if dag.alive_degree(v) != 1:
+            continue
+        chain = [v]
+        bases = int(contig_len[v])
+        prev = v
+        cur = int(dag.alive_incident(v)[0][0])
+        ok = False
+        while bases <= max_tip_bases:
+            deg = dag.alive_degree(cur)
+            if deg >= 3:
+                ok = True  # chain hangs off a junction
+                break
+            if deg == 1:
+                # isolated chain (both ends tips): leave it alone
+                break
+            nbrs, _ = dag.alive_incident(cur)
+            nxt = int(nbrs[0]) if int(nbrs[0]) != prev else int(nbrs[1])
+            chain.append(cur)
+            bases += int(contig_len[cur])
+            prev, cur = cur, nxt
+        if ok:
+            out.extend(chain)
+    return out
+
+
+def trim_dead_ends(
+    comm: SimComm, dag: DistributedAssemblyGraph, max_tip_bases: int = 150
+) -> int:
+    """MPI-style dead-end trimming; returns removed-node count."""
+    with comm.timed():
+        local = find_dead_ends(dag, dag.partition_nodes(comm.rank), max_tip_bases)
+    gathered = comm.gather(local, root=0)
+    removed = None
+    if comm.rank == 0:
+        with comm.timed():
+            allnodes: set[int] = set()
+            for part in gathered:
+                allnodes.update(part)
+            removed = dag.remove_nodes(allnodes)
+    return comm.bcast(removed, root=0)
+
+
+def find_bubbles(dag: DistributedAssemblyGraph, nodes: np.ndarray) -> list[int]:
+    """Lighter branch node of each simple bubble anchored in ``nodes``.
+
+    A simple bubble is ``v - a - w`` / ``v - b - w`` with ``a`` and
+    ``b`` of degree exactly 2, where both branches extend to the *same
+    side* of ``v`` (same delta sign) — two alternative spellings of the
+    same genomic interval.  Without the direction check every 4-cycle
+    would be popped.  The branch with the shorter contig is recorded.
+    """
+    out: list[int] = []
+    contig_len = dag.assembly.contig_lengths
+    g = dag.graph
+    for v in np.asarray(nodes).tolist():
+        nbrs, eids = dag.alive_incident(v)
+        two_deg = [
+            (int(u), int(np.sign(g.edge_delta(int(e), v))))
+            for u, e in zip(nbrs.tolist(), eids.tolist())
+            if dag.alive_degree(int(u)) == 2
+        ]
+        if len(two_deg) < 2:
+            continue
+        # group the degree-2 neighbours by (far endpoint, side of v)
+        far: dict[tuple[int, int], list[int]] = {}
+        for u, side in two_deg:
+            u_nbrs, _ = dag.alive_incident(u)
+            other = [int(x) for x in u_nbrs.tolist() if int(x) != v]
+            if len(other) != 1:
+                continue
+            far.setdefault((other[0], side), []).append(u)
+        for (w, _side), branches in far.items():
+            if w == v or len(branches) < 2:
+                continue
+            branches = sorted(branches, key=lambda u: (int(contig_len[u]), u))
+            out.extend(branches[:-1])  # keep the longest branch
+    return out
+
+
+def pop_bubbles(comm: SimComm, dag: DistributedAssemblyGraph) -> int:
+    """MPI-style bubble popping; returns removed-node count."""
+    with comm.timed():
+        local = find_bubbles(dag, dag.partition_nodes(comm.rank))
+    gathered = comm.gather(local, root=0)
+    removed = None
+    if comm.rank == 0:
+        with comm.timed():
+            allnodes: set[int] = set()
+            for part in gathered:
+                allnodes.update(part)
+            removed = dag.remove_nodes(allnodes)
+    return comm.bcast(removed, root=0)

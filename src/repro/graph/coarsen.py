@@ -1,0 +1,135 @@
+"""Multilevel graph coarsening (paper §II-C, §III).
+
+Repeated heavy-edge matching + node merging turns the overlap graph G0
+into a multilevel graph set ``{G0, G1, ..., Gn}`` with
+``|V(Gn)| <= ... <= |V(G0)|``.  Coarse node weights are the summed
+weights of their constituents; coarse edge weights sum the crossing
+fine edges, so the total edge weight *not* hidden inside coarse nodes
+is preserved level to level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.matching import heavy_edge_matching
+from repro.graph.overlap_graph import OverlapGraph
+
+__all__ = ["CoarsenConfig", "MultilevelGraphSet", "coarsen_once", "build_multilevel_set"]
+
+
+@dataclass(frozen=True)
+class CoarsenConfig:
+    """Stopping rules for coarsening."""
+
+    #: stop when a graph has at most this many nodes.
+    min_nodes: int = 64
+    #: stop when a round shrinks the node count by less than this factor.
+    min_reduction: float = 0.05
+    #: hard cap on the number of levels (n+1 graphs).
+    max_levels: int = 12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ValueError("min_nodes must be positive")
+        if not 0.0 < self.min_reduction < 1.0:
+            raise ValueError("min_reduction must be in (0, 1)")
+        if self.max_levels < 1:
+            raise ValueError("max_levels must be >= 1")
+
+
+def coarsen_once(
+    graph: OverlapGraph, rng: np.random.Generator
+) -> tuple[OverlapGraph, np.ndarray]:
+    """One matching + merge step; returns (coarse graph, fine->coarse map)."""
+    match = heavy_edge_matching(graph, rng)
+    n = graph.n_nodes
+    # Assign coarse ids: each pair (v, match[v]) with v <= match[v] gets one id.
+    reps = np.minimum(np.arange(n), match)
+    uniq, mapping = np.unique(reps, return_inverse=True)
+    n_coarse = uniq.size
+    node_w = np.zeros(n_coarse, dtype=np.int64)
+    np.add.at(node_w, mapping, graph.node_weights)
+    cu = mapping[graph.eu]
+    cv = mapping[graph.ev]
+    keep = cu != cv
+    coarse = OverlapGraph(
+        n_coarse,
+        cu[keep],
+        cv[keep],
+        graph.weights[keep],
+        node_weights=node_w,
+        identities=graph.identities[keep],
+    )
+    return coarse, mapping
+
+
+class MultilevelGraphSet:
+    """The graphs ``[G0..Gn]`` plus the fine->coarse maps between levels."""
+
+    def __init__(self, graphs: list[OverlapGraph], mappings: list[np.ndarray]) -> None:
+        if len(graphs) != len(mappings) + 1:
+            raise ValueError("need one mapping per coarsening step")
+        for i, m in enumerate(mappings):
+            if m.size != graphs[i].n_nodes:
+                raise ValueError(f"mapping {i} does not cover G{i}")
+        self.graphs = graphs
+        self.mappings = [np.asarray(m, dtype=np.int64) for m in mappings]
+
+    @property
+    def n_levels(self) -> int:
+        """Number of graphs (n + 1)."""
+        return len(self.graphs)
+
+    @property
+    def base(self) -> OverlapGraph:
+        return self.graphs[0]
+
+    @property
+    def coarsest(self) -> OverlapGraph:
+        return self.graphs[-1]
+
+    def map_to_level(self, level: int) -> np.ndarray:
+        """Composed map from V(G0) to V(G_level)."""
+        if not 0 <= level < self.n_levels:
+            raise ValueError(f"level {level} out of range")
+        out = np.arange(self.graphs[0].n_nodes, dtype=np.int64)
+        for m in self.mappings[:level]:
+            out = m[out]
+        return out
+
+    def clusters_at_level(self, level: int) -> list[np.ndarray]:
+        """For each node of G_level, the G0 nodes it represents."""
+        comp = self.map_to_level(level)
+        order = np.argsort(comp, kind="stable")
+        sorted_comp = comp[order]
+        boundaries = np.flatnonzero(np.diff(sorted_comp)) + 1
+        groups = np.split(order, boundaries)
+        out: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * self.graphs[level].n_nodes
+        for grp in groups:
+            out[int(comp[grp[0]])] = grp
+        return out
+
+
+def build_multilevel_set(
+    g0: OverlapGraph, config: CoarsenConfig | None = None
+) -> MultilevelGraphSet:
+    """Coarsen ``g0`` until the stopping rules fire."""
+    config = config or CoarsenConfig()
+    rng = np.random.default_rng(config.seed)
+    graphs = [g0]
+    mappings: list[np.ndarray] = []
+    while len(graphs) < config.max_levels:
+        current = graphs[-1]
+        if current.n_nodes <= config.min_nodes:
+            break
+        coarse, mapping = coarsen_once(current, rng)
+        reduction = 1.0 - coarse.n_nodes / current.n_nodes
+        if reduction < config.min_reduction:
+            break
+        graphs.append(coarse)
+        mappings.append(mapping)
+    return MultilevelGraphSet(graphs, mappings)

@@ -1,0 +1,85 @@
+"""Connected components and graph diagnostics.
+
+Assembly QC in practice starts with "how many components, how big,
+how tangled" — these helpers answer that for any
+:class:`~repro.graph.overlap_graph.OverlapGraph` with union-find over
+the edge list (no per-node Python BFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.overlap_graph import OverlapGraph
+
+__all__ = ["connected_components", "component_sizes", "GraphSummary", "summarize_graph"]
+
+
+def connected_components(graph: OverlapGraph) -> np.ndarray:
+    """Component label (0..c-1) per node, via union-find with path halving."""
+    n = graph.n_nodes
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    for u, v in zip(graph.eu.tolist(), graph.ev.tolist()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[rv] = ru
+    roots = np.array([find(i) for i in range(n)], dtype=np.int64)
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def component_sizes(graph: OverlapGraph) -> np.ndarray:
+    """Node counts per component, descending."""
+    labels = connected_components(graph)
+    if labels.size == 0:
+        return np.empty(0, dtype=np.int64)
+    sizes = np.bincount(labels)
+    return np.sort(sizes)[::-1]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-glance diagnostics of an assembly graph."""
+
+    n_nodes: int
+    n_edges: int
+    n_components: int
+    largest_component: int
+    n_isolated: int
+    mean_degree: float
+    max_degree: int
+    total_edge_weight: float
+
+    def report(self) -> str:
+        return (
+            f"nodes {self.n_nodes:,}  edges {self.n_edges:,}  "
+            f"components {self.n_components:,} (largest {self.largest_component:,}, "
+            f"isolated {self.n_isolated:,})  "
+            f"degree mean {self.mean_degree:.2f} / max {self.max_degree}  "
+            f"edge weight {self.total_edge_weight:,.0f}"
+        )
+
+
+def summarize_graph(graph: OverlapGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary`."""
+    sizes = component_sizes(graph)
+    degrees = graph.degrees
+    return GraphSummary(
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        n_components=int(sizes.size),
+        largest_component=int(sizes[0]) if sizes.size else 0,
+        n_isolated=int((sizes == 1).sum()),
+        mean_degree=float(degrees.mean()) if graph.n_nodes else 0.0,
+        max_degree=int(degrees.max()) if graph.n_nodes else 0,
+        total_edge_weight=graph.total_edge_weight,
+    )

@@ -1,0 +1,142 @@
+"""Read-cluster layout and contig consensus.
+
+A cluster of reads representing one contiguous genomic region can be
+*laid out*: each read gets an offset such that every overlap edge's
+implied relative offset (its delta) is honoured.  Repeat-confused
+clusters admit no consistent layout — exactly the property the hybrid
+graph's best-representative test uses.  The consensus sequence of a
+laid-out cluster is the per-column majority over the stacked reads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.overlap_graph import OverlapGraph
+from repro.io.readset import ReadSet
+
+__all__ = [
+    "cluster_layout_offsets",
+    "is_layout_contiguous",
+    "consensus_from_layout",
+    "contig_for_nodes",
+]
+
+
+def cluster_layout_offsets(
+    g0: OverlapGraph, nodes: np.ndarray, tolerance: int = 0
+) -> np.ndarray | None:
+    """Offsets of ``nodes`` satisfying all induced edge deltas, or None.
+
+    Returns None if the induced subgraph is disconnected or if any
+    induced edge disagrees with the BFS-assigned offsets by more than
+    ``tolerance`` bases (a repeat signature).  Offsets are normalised
+    so the smallest is 0.
+    """
+    if not g0.has_deltas:
+        raise ValueError("layout requires a graph with deltas (G0)")
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size == 0:
+        raise ValueError("empty cluster")
+    local = {int(v): i for i, v in enumerate(nodes)}
+    offsets = np.zeros(nodes.size, dtype=np.int64)
+    seen = np.zeros(nodes.size, dtype=bool)
+    seen[0] = True
+    queue = deque([int(nodes[0])])
+    n_visited = 1
+    while queue:
+        v = queue.popleft()
+        lv = local[v]
+        lo, hi = g0.indptr[v], g0.indptr[v + 1]
+        for u, eid in zip(g0.adj[lo:hi].tolist(), g0.adj_edge[lo:hi].tolist()):
+            lu = local.get(u)
+            if lu is None:
+                continue
+            implied = offsets[lv] + g0.edge_delta(eid, v)
+            if seen[lu]:
+                if abs(int(offsets[lu]) - implied) > tolerance:
+                    return None
+            else:
+                offsets[lu] = implied
+                seen[lu] = True
+                n_visited += 1
+                queue.append(u)
+    if n_visited != nodes.size:
+        return None
+    offsets -= offsets.min()
+    return offsets
+
+
+def is_layout_contiguous(offsets: np.ndarray, lengths: np.ndarray) -> bool:
+    """True if the read intervals [offset, offset+length) leave no gap."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if offsets.size != lengths.size:
+        raise ValueError("offsets/lengths length mismatch")
+    order = np.argsort(offsets, kind="stable")
+    starts = offsets[order]
+    ends = starts + lengths[order]
+    reach = np.maximum.accumulate(ends)
+    return bool((starts[1:] <= reach[:-1]).all())
+
+
+def consensus_from_layout(
+    reads: ReadSet,
+    nodes: np.ndarray,
+    offsets: np.ndarray,
+    quality_weighted: bool = False,
+) -> list[np.ndarray]:
+    """Majority-vote consensus of the stacked reads.
+
+    With ``quality_weighted`` (and reads that carry Phred scores), each
+    base's vote is weighted by its probability of being correct,
+    ``1 - 10^(-Q/10)`` — low-quality 3' tails then lose ties against
+    confident bases instead of splitting them.
+
+    Returns one code array per zero-coverage-separated segment (a
+    contiguous layout yields exactly one).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if nodes.size != offsets.size:
+        raise ValueError("nodes/offsets length mismatch")
+    if nodes.size == 0:
+        return []
+    weighted = quality_weighted and reads.quals is not None
+    shifted = offsets - offsets.min()
+    width = int((shifted + reads.lengths[nodes]).max())
+    counts = np.zeros((width, 4), dtype=np.float64 if weighted else np.int64)
+    for v, off in zip(nodes.tolist(), shifted.tolist()):
+        codes = reads.codes_of(v)
+        called = codes < 4
+        pos = np.arange(codes.size)[called] + off
+        if weighted:
+            quals = reads.quals_of(v)[called]
+            votes = 1.0 - np.power(10.0, -quals / 10.0)
+            np.add.at(counts, (pos, codes[called].astype(np.int64)), votes)
+        else:
+            np.add.at(counts, (pos, codes[called].astype(np.int64)), 1)
+    coverage = counts.sum(axis=1)
+    consensus = counts.argmax(axis=1).astype(np.uint8)
+    covered = coverage > 0
+    # Split at zero-coverage columns.
+    segments: list[np.ndarray] = []
+    if covered.any():
+        edges = np.flatnonzero(np.diff(covered.astype(np.int8)))
+        bounds = np.concatenate([[0], edges + 1, [width]])
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if covered[lo]:
+                segments.append(consensus[lo:hi].copy())
+    return segments
+
+
+def contig_for_nodes(
+    reads: ReadSet, g0: OverlapGraph, nodes: np.ndarray, tolerance: int = 0
+) -> list[np.ndarray] | None:
+    """Layout + consensus in one call; None if the cluster has no layout."""
+    offsets = cluster_layout_offsets(g0, nodes, tolerance=tolerance)
+    if offsets is None:
+        return None
+    return consensus_from_layout(reads, np.asarray(nodes, dtype=np.int64), offsets)

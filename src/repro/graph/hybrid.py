@@ -1,0 +1,167 @@
+"""The hybrid graph set (paper §II-D, Fig. 1B).
+
+A *best representative* is a node selected from the coarsest possible
+graph level whose read cluster still assembles into one contiguous
+contig — operationally: the cluster's induced G0 subgraph is connected,
+admits a consistent offset layout (no repeat conflicts), and its read
+intervals tile the region without gaps.
+
+The hybrid graph set ``{H0..Hn}`` mirrors the multilevel set, but
+un-coarsens only *through* non-representative nodes: ``Hi`` contains
+every best representative chosen at level >= i plus, for the rest of
+the graph, the ordinary level-i nodes.  ``H0`` is *the hybrid graph* on
+which Focus partitions, trims, and traverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.coarsen import MultilevelGraphSet
+from repro.graph.contigs import cluster_layout_offsets, is_layout_contiguous
+from repro.graph.overlap_graph import OverlapGraph
+
+__all__ = ["is_contiguous_cluster", "HybridGraphSet", "build_hybrid_set"]
+
+
+def is_contiguous_cluster(
+    g0: OverlapGraph,
+    nodes: np.ndarray,
+    read_lengths: np.ndarray,
+    tolerance: int = 0,
+) -> bool:
+    """Does this G0 node cluster assemble into one contiguous contig?"""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size == 1:
+        return True
+    offsets = cluster_layout_offsets(g0, nodes, tolerance=tolerance)
+    if offsets is None:
+        return False
+    return is_layout_contiguous(offsets, read_lengths[nodes])
+
+
+@dataclass
+class HybridGraphSet:
+    """Hybrid graphs ``[H0..Hn]`` plus maps between levels and to G0."""
+
+    graphs: list[OverlapGraph]
+    #: mappings[i]: V(H_i) -> V(H_{i+1})
+    mappings: list[np.ndarray]
+    #: base_maps[i]: V(G0) -> V(H_i)
+    base_maps: list[np.ndarray]
+    #: per G0 node, the multilevel level of its chosen representative.
+    rep_level: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.graphs) != len(self.mappings) + 1:
+            raise ValueError("need one mapping per level step")
+        if len(self.base_maps) != len(self.graphs):
+            raise ValueError("need one base map per level")
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def hybrid(self) -> OverlapGraph:
+        """H0, *the* hybrid graph."""
+        return self.graphs[0]
+
+    def clusters_of_hybrid(self) -> list[np.ndarray]:
+        """For each H0 node, the G0 nodes (reads) it represents."""
+        comp = self.base_maps[0]
+        order = np.argsort(comp, kind="stable")
+        sorted_comp = comp[order]
+        boundaries = np.flatnonzero(np.diff(sorted_comp)) + 1
+        groups = np.split(order, boundaries)
+        out: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * self.hybrid.n_nodes
+        for grp in groups:
+            out[int(comp[grp[0]])] = grp
+        return out
+
+
+def _select_representatives(
+    mls: MultilevelGraphSet, read_lengths: np.ndarray, tolerance: int
+) -> np.ndarray:
+    """Per-G0-node level of its best representative (top-down descent)."""
+    g0 = mls.base
+    n0 = g0.n_nodes
+    top = mls.n_levels - 1
+    rep_level = np.full(n0, -1, dtype=np.int64)
+    clusters_cache = {lvl: mls.clusters_at_level(lvl) for lvl in range(mls.n_levels)}
+
+    # Work stack of (level, node-at-level); start from every coarsest node.
+    stack: list[tuple[int, int]] = [(top, v) for v in range(mls.graphs[top].n_nodes)]
+    # children[level][node] = nodes of level-1 mapping to it
+    while stack:
+        level, node = stack.pop()
+        members = clusters_cache[level][node]
+        if level == 0 or is_contiguous_cluster(g0, members, read_lengths, tolerance):
+            rep_level[members] = level
+            continue
+        # descend into the node's children one level down
+        mapping = mls.mappings[level - 1]
+        child_candidates = np.unique(mls.map_to_level(level - 1)[members])
+        for child in child_candidates.tolist():
+            if mapping[child] == node:
+                stack.append((level - 1, child))
+    if (rep_level < 0).any():
+        raise RuntimeError("representative selection left nodes unassigned")
+    return rep_level
+
+
+def build_hybrid_set(
+    mls: MultilevelGraphSet, read_lengths: np.ndarray, tolerance: int = 0
+) -> HybridGraphSet:
+    """Select best representatives and assemble the hybrid graph set."""
+    read_lengths = np.asarray(read_lengths, dtype=np.int64)
+    g0 = mls.base
+    if read_lengths.size != g0.n_nodes:
+        raise ValueError("read_lengths must cover V(G0)")
+    rep_level = _select_representatives(mls, read_lengths, tolerance)
+
+    n_levels = mls.n_levels
+    level_maps = [mls.map_to_level(lvl) for lvl in range(n_levels)]
+    n0 = g0.n_nodes
+    # Encode the hybrid identity of each G0 node at each level i:
+    # (L, ancestor-at-L) for represented nodes with L >= i, else (i, ancestor-at-i).
+    max_nodes = max(g.n_nodes for g in mls.graphs) + 1
+    graphs: list[OverlapGraph] = []
+    base_maps: list[np.ndarray] = []
+    for i in range(n_levels):
+        lvl = np.maximum(rep_level, i)
+        anc = np.empty(n0, dtype=np.int64)
+        for l_val in np.unique(lvl).tolist():
+            mask = lvl == l_val
+            anc[mask] = level_maps[l_val][mask]
+        keys = lvl * max_nodes + anc
+        _, base_map = np.unique(keys, return_inverse=True)
+        base_maps.append(base_map.astype(np.int64))
+        n_h = int(base_map.max()) + 1
+        node_w = np.zeros(n_h, dtype=np.int64)
+        np.add.at(node_w, base_map, g0.node_weights)
+        hu = base_map[g0.eu]
+        hv = base_map[g0.ev]
+        keep = hu != hv
+        graphs.append(
+            OverlapGraph(
+                n_h,
+                hu[keep],
+                hv[keep],
+                g0.weights[keep],
+                node_weights=node_w,
+                identities=g0.identities[keep],
+            )
+        )
+
+    mappings: list[np.ndarray] = []
+    for i in range(n_levels - 1):
+        m = np.zeros(graphs[i].n_nodes, dtype=np.int64)
+        m[base_maps[i]] = base_maps[i + 1]
+        mappings.append(m)
+
+    return HybridGraphSet(
+        graphs=graphs, mappings=mappings, base_maps=base_maps, rep_level=rep_level
+    )

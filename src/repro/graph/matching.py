@@ -1,0 +1,41 @@
+"""Heavy edge matching (Karypis & Kumar [15]).
+
+Nodes are visited in random order; an unmatched node matches the
+unmatched neighbour sharing its heaviest incident edge.  The matching
+drives one coarsening step: matched pairs merge into one coarse node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.overlap_graph import OverlapGraph
+
+__all__ = ["heavy_edge_matching"]
+
+
+def heavy_edge_matching(graph: OverlapGraph, rng: np.random.Generator) -> np.ndarray:
+    """Return ``match`` where ``match[v]`` is v's partner (or v itself).
+
+    The result is an involution: ``match[match[v]] == v``.
+    """
+    n = graph.n_nodes
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    indptr, adj, adj_edge, weights = graph.indptr, graph.adj, graph.adj_edge, graph.weights
+    for v in order.tolist():
+        if match[v] != -1:
+            continue
+        lo, hi = indptr[v], indptr[v + 1]
+        nbrs = adj[lo:hi]
+        if nbrs.size:
+            free = match[nbrs] == -1
+            if free.any():
+                w = weights[adj_edge[lo:hi]]
+                cand = np.where(free, w, -np.inf)
+                u = int(nbrs[np.argmax(cand)])
+                match[v] = u
+                match[u] = v
+                continue
+        match[v] = v
+    return match

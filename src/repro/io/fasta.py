@@ -1,0 +1,67 @@
+"""Minimal, strict FASTA reader and writer."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.io.records import Read
+
+__all__ = ["parse_fasta", "write_fasta"]
+
+
+def _open_text(source) -> io.TextIOBase:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii")
+    return source
+
+
+def parse_fasta(source) -> Iterator[Read]:
+    """Yield :class:`Read` records from a FASTA path or text stream.
+
+    Multi-line sequences are supported; blank lines are ignored.  A
+    sequence line before any header is an error.
+    """
+    fh = _open_text(source)
+    close = isinstance(source, (str, Path))
+    try:
+        header: str | None = None
+        chunks: list[str] = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield Read.from_string(header, "".join(chunks))
+                header = line[1:].split()[0] if len(line) > 1 else ""
+                if not header:
+                    raise ValueError(f"line {lineno}: empty FASTA header")
+                chunks = []
+            else:
+                if header is None:
+                    raise ValueError(f"line {lineno}: sequence data before any header")
+                chunks.append(line)
+        if header is not None:
+            yield Read.from_string(header, "".join(chunks))
+    finally:
+        if close:
+            fh.close()
+
+
+def write_fasta(reads: Iterable[Read], dest, width: int = 70) -> None:
+    """Write reads to a FASTA path or text stream, wrapping at ``width``."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    fh = _open_text(dest) if not isinstance(dest, (str, Path)) else open(dest, "w", encoding="ascii")
+    close = isinstance(dest, (str, Path))
+    try:
+        for read in reads:
+            fh.write(f">{read.id}\n")
+            seq = read.sequence
+            for i in range(0, len(seq), width):
+                fh.write(seq[i : i + width] + "\n")
+    finally:
+        if close:
+            fh.close()

@@ -1,0 +1,60 @@
+"""Minimal, strict 4-line FASTQ reader and writer."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.io.records import Read
+from repro.sequence.quality import decode_phred, encode_phred
+
+__all__ = ["parse_fastq", "write_fastq"]
+
+
+def _open_text(source, mode="r") -> io.TextIOBase:
+    if isinstance(source, (str, Path)):
+        return open(source, mode, encoding="ascii")
+    return source
+
+
+def parse_fastq(source) -> Iterator[Read]:
+    """Yield :class:`Read` records from a 4-line-per-record FASTQ source."""
+    fh = _open_text(source)
+    close = isinstance(source, (str, Path))
+    try:
+        while True:
+            header = fh.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header.startswith("@") or len(header) < 2:
+                raise ValueError(f"malformed FASTQ header: {header!r}")
+            seq = fh.readline().rstrip("\n")
+            plus = fh.readline().rstrip("\n")
+            qual = fh.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise ValueError(f"missing '+' separator after {header!r}")
+            if len(qual) != len(seq):
+                raise ValueError(
+                    f"record {header!r}: quality length {len(qual)} != sequence length {len(seq)}"
+                )
+            read_id = header[1:].split()[0]
+            yield Read.from_string(read_id, seq, quals=decode_phred(qual))
+    finally:
+        if close:
+            fh.close()
+
+
+def write_fastq(reads: Iterable[Read], dest) -> None:
+    """Write reads (which must carry qualities) to FASTQ."""
+    fh = _open_text(dest, "w")
+    close = isinstance(dest, (str, Path))
+    try:
+        for read in reads:
+            if read.quals is None:
+                raise ValueError(f"read {read.id!r} has no quality scores")
+            fh.write(f"@{read.id}\n{read.sequence}\n+\n{encode_phred(read.quals)}\n")
+    finally:
+        if close:
+            fh.close()

@@ -1,0 +1,150 @@
+"""ReadSet: a columnar container for many reads.
+
+Reads are stored as one concatenated ``uint8`` code array plus an
+``int64`` offsets array (CSR-style ragged layout), which keeps the
+memory footprint flat and lets alignment kernels slice views instead of
+copying per-read arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.io.records import Read
+from repro.sequence.dna import decode
+from repro.sequence.quality import trim_read
+
+__all__ = ["ReadSet"]
+
+
+class ReadSet:
+    """An ordered collection of reads with columnar storage.
+
+    Construct with :meth:`from_reads` (or ``ReadSet(reads)``); the
+    container is immutable after construction — preprocessing steps
+    return new ReadSets.
+    """
+
+    def __init__(self, reads: Iterable[Read] = ()) -> None:
+        reads = list(reads)
+        self.ids: list[str] = [r.id for r in reads]
+        self.meta: list[dict] = [r.meta for r in reads]
+        lengths = np.fromiter((len(r) for r in reads), dtype=np.int64, count=len(reads))
+        self.offsets = np.zeros(len(reads) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self.offsets[1:])
+        self.data = np.empty(int(self.offsets[-1]), dtype=np.uint8)
+        has_quals = any(r.quals is not None for r in reads)
+        self.quals = np.zeros(int(self.offsets[-1]), dtype=np.int64) if has_quals else None
+        for i, r in enumerate(reads):
+            lo, hi = self.offsets[i], self.offsets[i + 1]
+            self.data[lo:hi] = r.codes
+            if self.quals is not None and r.quals is not None:
+                self.quals[lo:hi] = r.quals
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_reads(cls, reads: Iterable[Read]) -> "ReadSet":
+        return cls(reads)
+
+    @classmethod
+    def from_strings(cls, seqs: Sequence[str], prefix: str = "r") -> "ReadSet":
+        """Convenience constructor for tests: numbered reads from strings."""
+        return cls(Read.from_string(f"{prefix}{i}", s) for i, s in enumerate(seqs))
+
+    # -- basic protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[Read]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, i: int) -> Read:
+        if not -len(self) <= i < len(self):
+            raise IndexError(i)
+        i = i % len(self) if len(self) else i
+        return Read(self.ids[i], self.codes_of(i).copy(), self.quals_of(i), self.meta[i])
+
+    def codes_of(self, i: int) -> np.ndarray:
+        """Zero-copy view of read ``i``'s base codes."""
+        return self.data[self.offsets[i] : self.offsets[i + 1]]
+
+    def quals_of(self, i: int) -> np.ndarray | None:
+        if self.quals is None:
+            return None
+        return self.quals[self.offsets[i] : self.offsets[i + 1]].copy()
+
+    def sequence_of(self, i: int) -> str:
+        return decode(self.codes_of(i))
+
+    def length_of(self, i: int) -> int:
+        return int(self.offsets[i + 1] - self.offsets[i])
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    @property
+    def total_bases(self) -> int:
+        return int(self.offsets[-1])
+
+    # -- preprocessing ---------------------------------------------------
+
+    def trimmed(
+        self,
+        trim5: int = 0,
+        trim3: int = 0,
+        window: int = 10,
+        step: int = 1,
+        min_quality: float = 20.0,
+        min_length: int = 1,
+    ) -> "ReadSet":
+        """Apply the Focus trimming rule to every read; drop short reads."""
+        out: list[Read] = []
+        for i in range(len(self)):
+            codes, quals = trim_read(
+                self.codes_of(i),
+                self.quals_of(i),
+                trim5=trim5,
+                trim3=trim3,
+                window=window,
+                step=step,
+                min_quality=min_quality,
+            )
+            if codes.size >= min_length:
+                out.append(Read(self.ids[i], codes.copy(), quals, self.meta[i]))
+        return ReadSet(out)
+
+    def with_reverse_complements(self) -> "ReadSet":
+        """Append the reverse complement of every read (paper §II-A).
+
+        The forward read ``i`` and its reverse complement ``i + n`` are
+        paired; :meth:`mate_of` maps between them.
+        """
+        fwd = list(self)
+        return ReadSet(fwd + [r.reverse_complement() for r in fwd])
+
+    def mate_of(self, i: int) -> int:
+        """Index of read ``i``'s reverse complement in an rc-augmented set."""
+        n = len(self)
+        if n % 2 != 0:
+            raise ValueError("read set was not built with with_reverse_complements()")
+        half = n // 2
+        return i + half if i < half else i - half
+
+    def split(self, n_subsets: int) -> list[np.ndarray]:
+        """Split read indices into ``n_subsets`` contiguous chunks.
+
+        Used to farm pairwise alignment of subset pairs out to ranks.
+        """
+        if n_subsets < 1:
+            raise ValueError("n_subsets must be >= 1")
+        return [np.asarray(c, dtype=np.int64) for c in np.array_split(np.arange(len(self)), n_subsets)]
+
+    def subset(self, indices: np.ndarray) -> "ReadSet":
+        """A new ReadSet containing the given reads (copies)."""
+        return ReadSet(self[int(i)] for i in indices)

@@ -1,0 +1,65 @@
+"""The Read record: one sequencing read plus optional quality and metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequence.dna import decode, encode, reverse_complement
+
+__all__ = ["Read"]
+
+
+@dataclass
+class Read:
+    """A single sequencing read.
+
+    Attributes
+    ----------
+    id:
+        Read identifier (unique within a dataset by convention).
+    codes:
+        2-bit base codes (``uint8``), see :mod:`repro.sequence.dna`.
+    quals:
+        Optional integer Phred scores, same length as ``codes``.
+    meta:
+        Free-form metadata.  The read simulator records the source
+        genus, genome position and strand here, which the community
+        analysis uses as ground truth.
+    """
+
+    id: str
+    codes: np.ndarray
+    quals: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.codes = np.asarray(self.codes, dtype=np.uint8)
+        if self.quals is not None:
+            self.quals = np.asarray(self.quals, dtype=np.int64)
+            if self.quals.size != self.codes.size:
+                raise ValueError(
+                    f"read {self.id!r}: {self.quals.size} quality scores for "
+                    f"{self.codes.size} bases"
+                )
+
+    @classmethod
+    def from_string(cls, read_id: str, seq: str, quals=None, meta=None) -> "Read":
+        """Build a Read from a plain DNA string."""
+        return cls(read_id, encode(seq), quals=quals, meta=dict(meta or {}))
+
+    @property
+    def sequence(self) -> str:
+        """The read as an upper-case DNA string."""
+        return decode(self.codes)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def reverse_complement(self, suffix: str = "/rc") -> "Read":
+        """The reverse-complement read (qualities reversed accordingly)."""
+        quals = None if self.quals is None else self.quals[::-1].copy()
+        meta = dict(self.meta)
+        meta["rc_of"] = self.id
+        return Read(self.id + suffix, reverse_complement(self.codes), quals, meta)

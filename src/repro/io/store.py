@@ -1,0 +1,96 @@
+"""Binary persistence for the expensive pipeline intermediates.
+
+Read alignment dominates pipeline cost, so being able to save the
+overlap graph (and the read set it refers to) and resume later is the
+single most useful checkpoint.  Everything is stored in a single
+``.npz`` archive of numpy arrays — no pickle, no code execution on
+load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.overlap_graph import OverlapGraph
+from repro.io.readset import ReadSet
+from repro.io.records import Read
+
+__all__ = ["save_graph", "load_graph", "save_readset", "load_readset"]
+
+_GRAPH_VERSION = 1
+_READSET_VERSION = 1
+
+
+def save_graph(graph: OverlapGraph, dest) -> None:
+    """Write an OverlapGraph to an ``.npz`` archive."""
+    np.savez_compressed(
+        dest,
+        version=np.int64(_GRAPH_VERSION),
+        n_nodes=np.int64(graph.n_nodes),
+        eu=graph.eu,
+        ev=graph.ev,
+        weights=graph.weights,
+        deltas=graph.deltas,
+        identities=graph.identities,
+        node_weights=graph.node_weights,
+        has_deltas=np.bool_(graph.has_deltas),
+    )
+
+
+def load_graph(source) -> OverlapGraph:
+    """Read an OverlapGraph written by :func:`save_graph`."""
+    with np.load(source) as data:
+        if int(data["version"]) != _GRAPH_VERSION:
+            raise ValueError(f"unsupported graph archive version {int(data['version'])}")
+        return OverlapGraph(
+            int(data["n_nodes"]),
+            data["eu"],
+            data["ev"],
+            data["weights"],
+            node_weights=data["node_weights"],
+            deltas=data["deltas"] if bool(data["has_deltas"]) else None,
+            identities=data["identities"],
+        )
+
+
+def save_readset(reads: ReadSet, dest) -> None:
+    """Write a ReadSet (ids, bases, qualities, JSON metadata) to ``.npz``."""
+    meta_json = json.dumps(reads.meta).encode("utf-8")
+    np.savez_compressed(
+        dest,
+        version=np.int64(_READSET_VERSION),
+        data=reads.data,
+        offsets=reads.offsets,
+        ids=np.array(reads.ids, dtype=object) if reads.ids else np.array([], dtype=object),
+        quals=reads.quals if reads.quals is not None else np.array([]),
+        has_quals=np.bool_(reads.quals is not None),
+        meta=np.frombuffer(meta_json, dtype=np.uint8),
+    )
+
+
+def load_readset(source) -> ReadSet:
+    """Read a ReadSet written by :func:`save_readset`."""
+    with np.load(source, allow_pickle=True) as data:
+        if int(data["version"]) != _READSET_VERSION:
+            raise ValueError(f"unsupported readset archive version {int(data['version'])}")
+        offsets = data["offsets"]
+        codes = data["data"]
+        ids = [str(x) for x in data["ids"].tolist()]
+        has_quals = bool(data["has_quals"])
+        quals = data["quals"] if has_quals else None
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        reads = []
+        for i, rid in enumerate(ids):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            reads.append(
+                Read(
+                    rid,
+                    codes[lo:hi].copy(),
+                    quals[lo:hi].copy() if has_quals else None,
+                    dict(meta[i]),
+                )
+            )
+        return ReadSet(reads)

@@ -1,0 +1,41 @@
+"""Simulated MPI runtime.
+
+The paper runs on an HPC cluster over MPI; this environment has no
+mpi4py and a GIL, so we substitute an in-process message-passing
+runtime with *virtual clocks*:
+
+- each rank is a Python thread holding a :class:`SimComm`;
+- point-to-point and collective operations follow the mpi4py
+  lowercase (pickle-object) API, so the code would port to real MPI
+  nearly verbatim;
+- each rank's virtual clock advances by *measured* compute time (wrapped
+  in ``comm.timed()``) and by an alpha-beta (latency + inverse
+  bandwidth) communication cost model; a receive completes at
+  ``max(local clock, send clock + alpha + beta * bytes)``.
+
+Virtual elapsed time of a run is the maximum final clock over ranks —
+the LogP-style estimate of what a real cluster would measure, with the
+per-rank *work* being genuinely measured, only its temporal overlap
+modelled.  See DESIGN.md for why this preserves the paper's speedup
+shapes.
+"""
+
+from repro.mpi.cluster import RunStats, SimCluster
+from repro.mpi.schedule import (
+    lpt_makespan,
+    partition_schedule_makespan,
+    speedup_curve,
+)
+from repro.mpi.simcomm import SimComm
+from repro.mpi.timing import CommCostModel, payload_nbytes
+
+__all__ = [
+    "SimComm",
+    "SimCluster",
+    "RunStats",
+    "CommCostModel",
+    "payload_nbytes",
+    "lpt_makespan",
+    "partition_schedule_makespan",
+    "speedup_curve",
+]

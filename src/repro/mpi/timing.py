@@ -1,0 +1,53 @@
+"""Communication cost model and payload sizing."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CommCostModel", "payload_nbytes"]
+
+#: pickling overhead assumed for a bare ndarray (header, dtype, shape).
+_NDARRAY_OVERHEAD = 96
+
+
+def payload_nbytes(obj) -> int:
+    """Approximate wire size of a Python object in bytes.
+
+    numpy arrays take a fast path (``nbytes`` + fixed header);
+    everything else is sized by pickling, exactly what mpi4py's
+    lowercase API would transmit.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + _NDARRAY_OVERHEAD
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable payloads still need *a* size
+        return 256
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Alpha-beta (Hockney) point-to-point cost: alpha + beta * bytes.
+
+    Defaults approximate a commodity cluster interconnect: 10 us
+    latency, 10 GB/s effective bandwidth.
+    """
+
+    alpha: float = 10e-6
+    beta: float = 1e-10
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("cost parameters must be non-negative")
+
+    def message_cost(self, nbytes: int) -> float:
+        """Seconds to move one message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.alpha + self.beta * nbytes
+
+    def cost_of(self, obj) -> float:
+        return self.message_cost(payload_nbytes(obj))

@@ -1,0 +1,24 @@
+"""Contig scaffolding with paired-end reads.
+
+Mate pairs whose reads map to *different* contigs witness the contigs'
+relative order, orientation and separation.  The scaffolder collects
+those witnesses into contig-link candidates, keeps links supported by
+enough concordant pairs, chains contigs through unambiguous links, and
+emits scaffolds (ordered, oriented contigs with estimated gaps).
+
+This is the classic OLC post-processing stage (cf. PCAP's scaffold
+processing, which the paper cites as related work) built on the same
+simulated-data substrate as the rest of the repository.
+"""
+
+from repro.scaffold.links import ContigLink, build_links, pair_indices
+from repro.scaffold.scaffolder import Scaffold, ScaffoldConfig, Scaffolder
+
+__all__ = [
+    "ContigLink",
+    "build_links",
+    "pair_indices",
+    "Scaffold",
+    "ScaffoldConfig",
+    "Scaffolder",
+]

@@ -1,0 +1,204 @@
+"""Chaining contig links into scaffolds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.io.readset import ReadSet
+from repro.scaffold.links import ContigLink, build_links
+from repro.sequence.dna import N, reverse_complement
+
+__all__ = ["ScaffoldConfig", "Scaffold", "Scaffolder"]
+
+_FLIP = {"+": "-", "-": "+"}
+
+
+@dataclass(frozen=True)
+class ScaffoldConfig:
+    """Scaffolding thresholds."""
+
+    #: minimum concordant pairs supporting a kept link.
+    min_pairs: int = 3
+    #: k for read-to-contig mapping.
+    k: int = 17
+    #: gap bases inserted when the estimate is non-positive.
+    min_gap: int = 1
+    #: override the insert size estimated from same-contig pairs.
+    insert_size: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_pairs < 1:
+            raise ValueError("min_pairs must be positive")
+        if self.min_gap < 1:
+            raise ValueError("min_gap must be positive")
+
+
+@dataclass
+class Scaffold:
+    """An ordered, oriented contig chain with estimated gaps.
+
+    ``parts[i] = (contig index, orientation)``; ``gaps[i]`` is the
+    estimated gap after part ``i`` (one shorter than ``parts``).
+    """
+
+    parts: list[tuple[int, str]]
+    gaps: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.parts and len(self.gaps) != len(self.parts) - 1:
+            raise ValueError("need exactly one gap per junction")
+
+    @property
+    def n_contigs(self) -> int:
+        return len(self.parts)
+
+    def reversed(self) -> "Scaffold":
+        """The same scaffold read from the other end (mirror strand)."""
+        return Scaffold(
+            parts=[(c, _FLIP[o]) for c, o in reversed(self.parts)],
+            gaps=list(reversed(self.gaps)),
+        )
+
+    def canonical(self) -> "Scaffold":
+        """Direction-normalised: the lower contig id comes first."""
+        if self.parts and self.parts[0][0] > self.parts[-1][0]:
+            return self.reversed()
+        return self
+
+    def sequence(self, contigs: list[np.ndarray]) -> np.ndarray:
+        """The scaffold sequence with N runs across gaps."""
+        pieces: list[np.ndarray] = []
+        for idx, (contig, orient) in enumerate(self.parts):
+            codes = contigs[contig]
+            pieces.append(codes if orient == "+" else reverse_complement(codes))
+            if idx < len(self.gaps):
+                pieces.append(np.full(self.gaps[idx], N, dtype=np.uint8))
+        return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.uint8)
+
+
+class Scaffolder:
+    """Builds scaffolds from paired reads and assembled contigs."""
+
+    def __init__(self, config: ScaffoldConfig | None = None) -> None:
+        self.config = config or ScaffoldConfig()
+
+    # -- link graph --------------------------------------------------------
+
+    def _reduce_transitive(
+        self,
+        links: list[ContigLink],
+        contig_lengths: np.ndarray,
+        slack: float = 500.0,
+    ) -> list[ContigLink]:
+        """Drop links explained by a two-step path (A->B->C implies A->C).
+
+        Long-insert libraries witness contig pairs that *skip* a short
+        intermediate contig; keeping those links would make every
+        junction ambiguous.  A link u->w is transitive when some v has
+        links u->v and v->w whose gaps plus v's length reproduce u->w's
+        gap within ``slack``.
+        """
+        directed: dict[tuple[int, str], list[tuple[tuple[int, str], float, ContigLink]]] = {}
+        for link in links:
+            gap = link.gap
+            fwd = ((link.a, link.a_orient), (link.b, link.b_orient))
+            rev = ((link.b, _FLIP[link.b_orient]), (link.a, _FLIP[link.a_orient]))
+            for src, dst in (fwd, rev):
+                directed.setdefault(src, []).append((dst, gap, link))
+        drop: set[int] = set()
+        for src, outs in directed.items():
+            if len(outs) < 2:
+                continue
+            for di, (dst, gap, link) in enumerate(outs):
+                for mid, g1, _ in outs:
+                    if mid == dst:
+                        continue
+                    for far, g2, _ in directed.get(mid, ()):
+                        if far != dst:
+                            continue
+                        implied = g1 + float(contig_lengths[mid[0]]) + g2
+                        if abs(implied - gap) <= slack:
+                            drop.add(id(link))
+        return [link for link in links if id(link) not in drop]
+
+    def _unambiguous_successors(
+        self, links: list[ContigLink]
+    ) -> dict[tuple[int, str], tuple[int, str, int]]:
+        """succ[(contig, orient)] -> (next contig, orient, gap); unique only.
+
+        Every link is registered in both reading directions; oriented
+        nodes with multiple candidate successors (or predecessors) are
+        branch points and terminate chains.
+        """
+        succ_all: dict[tuple[int, str], list[tuple[int, str, int]]] = {}
+        pred_count: dict[tuple[int, str], int] = {}
+        cfg = self.config
+        for link in links:
+            gap = max(cfg.min_gap, int(round(link.gap)))
+            fwd = ((link.a, link.a_orient), (link.b, link.b_orient, gap))
+            rev = (
+                (link.b, _FLIP[link.b_orient]),
+                (link.a, _FLIP[link.a_orient], gap),
+            )
+            for src, dst in (fwd, rev):
+                succ_all.setdefault(src, []).append(dst)
+                pred_count[(dst[0], dst[1])] = pred_count.get((dst[0], dst[1]), 0) + 1
+        return {
+            src: dsts[0]
+            for src, dsts in succ_all.items()
+            if len(dsts) == 1 and pred_count.get((dsts[0][0], dsts[0][1]), 0) == 1
+        }
+
+    def _chain(self, n_contigs: int, succ) -> list[Scaffold]:
+        has_pred = {(c, o) for (c, o, _g) in succ.values()}
+        used = np.zeros(n_contigs, dtype=bool)
+        scaffolds: list[Scaffold] = []
+
+        def walk(start: tuple[int, str]) -> Scaffold:
+            parts = [start]
+            gaps: list[int] = []
+            used[start[0]] = True
+            cur = start
+            while cur in succ:
+                nxt_c, nxt_o, gap = succ[cur]
+                if used[nxt_c]:
+                    break
+                parts.append((nxt_c, nxt_o))
+                gaps.append(gap)
+                used[nxt_c] = True
+                cur = (nxt_c, nxt_o)
+            return Scaffold(parts=parts, gaps=gaps)
+
+        # Chain starts: oriented nodes with a successor but no predecessor.
+        for node in list(succ):
+            if node not in has_pred and not used[node[0]]:
+                scaffolds.append(walk(node).canonical())
+        # Leftover contigs become singleton scaffolds ('+' by convention).
+        for c in range(n_contigs):
+            if not used[c]:
+                scaffolds.append(Scaffold(parts=[(c, "+")], gaps=[]))
+                used[c] = True
+        return scaffolds
+
+    # -- public API -----------------------------------------------------------
+
+    def scaffold(
+        self, reads: ReadSet, contigs: list[np.ndarray]
+    ) -> tuple[list[Scaffold], list[ContigLink]]:
+        """(scaffolds, kept links) from paired reads over contigs."""
+        if not contigs:
+            return [], []
+        cfg = self.config
+        links = build_links(
+            reads,
+            contigs,
+            min_pairs=cfg.min_pairs,
+            k=cfg.k,
+            insert_size=cfg.insert_size,
+        )
+        lengths = np.array([c.size for c in contigs], dtype=np.int64)
+        links = self._reduce_transitive(links, lengths)
+        succ = self._unambiguous_successors(links)
+        return self._chain(len(contigs), succ), links

@@ -1,0 +1,120 @@
+"""Vectorised k-mer extraction and integer packing.
+
+A k-mer over the 2-bit alphabet packs into an integer::
+
+    value = sum_j codes[j] * 4**(k - 1 - j)
+
+i.e. the leftmost base is the most significant 2-bit digit.  With
+``int64`` this supports k <= 31.  All routines reject windows that
+contain ``N`` (code 4) by reporting their positions so callers can mask
+them out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequence.dna import N
+
+__all__ = [
+    "max_k_for_dtype",
+    "pack_kmer",
+    "unpack_kmer",
+    "revcomp_kmer_code",
+    "kmer_codes",
+    "kmer_positions",
+    "canonical_kmer_codes",
+]
+
+
+def max_k_for_dtype(dtype=np.int64) -> int:
+    """Largest k such that 4**k fits the signed integer dtype."""
+    bits = np.dtype(dtype).itemsize * 8 - 1
+    return bits // 2
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= max_k_for_dtype():
+        raise ValueError(f"k must be in 1..{max_k_for_dtype()}, got {k}")
+
+
+def pack_kmer(codes: np.ndarray) -> int:
+    """Pack a single k-mer code array into its integer value."""
+    codes = np.asarray(codes, dtype=np.int64)
+    _check_k(codes.size)
+    if (codes >= N).any():
+        raise ValueError("cannot pack a k-mer containing N")
+    value = 0
+    for c in codes.tolist():
+        value = (value << 2) | c
+    return value
+
+
+def unpack_kmer(value: int, k: int) -> np.ndarray:
+    """Inverse of :func:`pack_kmer`."""
+    _check_k(k)
+    out = np.empty(k, dtype=np.uint8)
+    for j in range(k - 1, -1, -1):
+        out[j] = value & 3
+        value >>= 2
+    return out
+
+
+def revcomp_kmer_code(values: np.ndarray | int, k: int):
+    """Reverse-complement packed k-mer value(s) without unpacking.
+
+    Works elementwise on arrays.  Complementing a 2-bit base is
+    ``3 - b`` i.e. ``b ^ 3``; reversing swaps digit order.
+    """
+    _check_k(k)
+    scalar = np.isscalar(values)
+    v = np.asarray(values, dtype=np.int64)
+    out = np.zeros_like(v)
+    for _ in range(k):
+        out = (out << 2) | ((v & 3) ^ 3)
+        v = v >> 2
+    return int(out) if scalar else out
+
+
+def kmer_codes(codes: np.ndarray, k: int) -> np.ndarray:
+    """Packed values of every k-mer window of ``codes`` (length n-k+1).
+
+    Windows containing ``N`` get the value -1.  Vectorised via a
+    sliding-window polynomial evaluation.
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    if n < k:
+        return np.empty(0, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(codes, k)
+    weights = (np.int64(1) << (2 * np.arange(k - 1, -1, -1, dtype=np.int64)))
+    values = windows.astype(np.int64) @ weights
+    has_n = (windows == N).any(axis=1)
+    if has_n.any():
+        values = values.copy()
+        values[has_n] = -1
+    return values
+
+
+def kmer_positions(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """(positions, packed values) of all valid (N-free) k-mers."""
+    values = kmer_codes(codes, k)
+    pos = np.flatnonzero(values >= 0)
+    return pos, values[pos]
+
+
+def canonical_kmer_codes(codes: np.ndarray, k: int) -> np.ndarray:
+    """Packed canonical k-mers: min(value, revcomp value) per window.
+
+    Canonicalisation makes k-mer identity strand-independent, which the
+    de Bruijn baseline and the read classifier both rely on.  Invalid
+    (N-containing) windows remain -1.
+    """
+    values = kmer_codes(codes, k)
+    valid = values >= 0
+    out = values.copy()
+    if valid.any():
+        rc = revcomp_kmer_code(values[valid], k)
+        out[valid] = np.minimum(values[valid], rc)
+    return out

@@ -1,0 +1,127 @@
+"""Phylogenetically structured metagenome communities.
+
+The paper's Fig. 7 rests on two facts about real gut communities that
+the simulator must reproduce:
+
+1. reads of one genus come from one (linear) genome, so they cluster in
+   the overlap graph;
+2. genera of the same phylum share sequence, so their clusters
+   interconnect.
+
+We therefore generate one *ancestor* sequence per phylum and derive
+each genus genome from its phylum ancestor by substitution mutations at
+``within_phylum_divergence``, followed by appending genus-private
+sequence.  Genera of different phyla share nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulate.genome import Genome, insert_repeats, mutate, random_genome
+from repro.simulate.taxonomy import GUT_GENERA, Taxon
+
+__all__ = ["CommunityConfig", "Community", "build_community"]
+
+
+@dataclass(frozen=True)
+class CommunityConfig:
+    """Parameters of a synthetic metagenome community."""
+
+    #: genera present, with phylum labels.
+    taxa: tuple[Taxon, ...] = GUT_GENERA
+    #: bases of phylum-ancestor sequence inherited by each genus genome.
+    shared_length: int = 12_000
+    #: bases of genus-private sequence appended to each genome.
+    private_length: int = 8_000
+    #: per-base substitution divergence of a genus from its phylum ancestor.
+    within_phylum_divergence: float = 0.02
+    #: repeat element copies inserted into each genome (0 disables).
+    repeat_copies: int = 2
+    repeat_length: int = 300
+    #: Dirichlet concentration for genus abundances (smaller = more skewed).
+    abundance_concentration: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shared_length < 0 or self.private_length < 0:
+            raise ValueError("sequence lengths must be non-negative")
+        if self.shared_length + self.private_length == 0:
+            raise ValueError("genomes would be empty")
+        if not self.taxa:
+            raise ValueError("community needs at least one taxon")
+
+
+@dataclass
+class Community:
+    """A simulated community: genomes, labels, and relative abundances."""
+
+    config: CommunityConfig
+    genomes: list[Genome]
+    abundances: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.genomes) != self.abundances.size:
+            raise ValueError("one abundance per genome required")
+        if self.genomes and not np.isclose(self.abundances.sum(), 1.0):
+            raise ValueError("abundances must sum to 1")
+
+    @property
+    def genera(self) -> list[str]:
+        return [g.meta["genus"] for g in self.genomes]
+
+    @property
+    def phylum_of(self) -> dict[str, str]:
+        return {g.meta["genus"]: g.meta["phylum"] for g in self.genomes}
+
+    def genome_by_genus(self, genus: str) -> Genome:
+        for g in self.genomes:
+            if g.meta["genus"] == genus:
+                return g
+        raise KeyError(genus)
+
+    def reference_database(self) -> list[Genome]:
+        """The genomes, playing the role of the HMP gut reference DB."""
+        return list(self.genomes)
+
+    @property
+    def total_genome_bases(self) -> int:
+        return sum(len(g) for g in self.genomes)
+
+
+def build_community(config: CommunityConfig | None = None, seed: int | None = None) -> Community:
+    """Generate a community according to ``config``.
+
+    ``seed`` overrides ``config.seed`` (convenience for building the
+    three benchmark datasets D1–D3 from one config).
+    """
+    config = config or CommunityConfig()
+    rng = np.random.default_rng(config.seed if seed is None else seed)
+
+    ancestors: dict[str, np.ndarray] = {}
+    for taxon in config.taxa:
+        if taxon.phylum not in ancestors:
+            ancestors[taxon.phylum] = random_genome(config.shared_length, rng)
+
+    genomes: list[Genome] = []
+    for taxon in config.taxa:
+        shared = mutate(ancestors[taxon.phylum], config.within_phylum_divergence, rng)
+        private = random_genome(config.private_length, rng)
+        codes = np.concatenate([shared, private])
+        if config.repeat_copies > 0:
+            codes = insert_repeats(
+                codes, config.repeat_length, config.repeat_copies, rng, divergence=0.01
+            )
+        genomes.append(
+            Genome(
+                name=f"{taxon.genus}_genome",
+                codes=codes,
+                meta={"genus": taxon.genus, "phylum": taxon.phylum},
+            )
+        )
+
+    alpha = np.full(len(genomes), config.abundance_concentration)
+    abundances = rng.dirichlet(alpha)
+    return Community(config=config, genomes=genomes, abundances=abundances)

@@ -1,0 +1,102 @@
+"""Random genome generation, mutation, and repeat insertion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequence.dna import T, decode
+
+__all__ = ["Genome", "random_genome", "mutate", "insert_repeats"]
+
+
+@dataclass
+class Genome:
+    """A reference sequence with provenance metadata."""
+
+    name: str
+    codes: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.codes = np.asarray(self.codes, dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def sequence(self) -> str:
+        return decode(self.codes)
+
+
+def random_genome(length: int, rng: np.random.Generator, gc: float = 0.5) -> np.ndarray:
+    """A random DNA code array with expected GC content ``gc``.
+
+    Bases are i.i.d. with P(G)=P(C)=gc/2 and P(A)=P(T)=(1-gc)/2.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not 0.0 <= gc <= 1.0:
+        raise ValueError("gc must be in [0, 1]")
+    at = (1.0 - gc) / 2.0
+    probs = np.array([at, gc / 2.0, gc / 2.0, at])
+    return rng.choice(4, size=length, p=probs).astype(np.uint8)
+
+
+def mutate(codes: np.ndarray, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Return a copy with i.i.d. substitutions at the given per-base rate.
+
+    Each mutated base becomes one of the three *other* bases uniformly.
+    Used to derive phylogenetically related genomes from a common
+    ancestor: two genomes at divergence ``d`` from an ancestor differ at
+    roughly ``2d(1 - 2d/3)`` of positions.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    codes = np.asarray(codes, dtype=np.uint8)
+    out = codes.copy()
+    if codes.size == 0 or rate == 0.0:
+        return out
+    hit = np.flatnonzero(rng.random(codes.size) < rate)
+    if hit.size:
+        # Shift by 1..3 mod 4 => always a different base.
+        out[hit] = (out[hit] + rng.integers(1, 4, size=hit.size)) % 4
+    return out
+
+
+def insert_repeats(
+    codes: np.ndarray,
+    repeat_length: int,
+    n_copies: int,
+    rng: np.random.Generator,
+    divergence: float = 0.0,
+) -> np.ndarray:
+    """Insert ``n_copies`` of one repeat element at random positions.
+
+    A fresh random element of ``repeat_length`` bases is generated and
+    spliced into the genome at ``n_copies`` random insertion points;
+    each copy is independently mutated at ``divergence`` so the repeat
+    family can be made imperfect.  Repeats are what make assembly
+    graphs non-linear, which is exactly the structure the hybrid graph
+    set exists to handle.
+    """
+    if repeat_length < 1:
+        raise ValueError("repeat_length must be positive")
+    if n_copies < 0:
+        raise ValueError("n_copies must be non-negative")
+    codes = np.asarray(codes, dtype=np.uint8)
+    if n_copies == 0:
+        return codes.copy()
+    element = random_genome(repeat_length, rng)
+    positions = np.sort(rng.integers(0, codes.size + 1, size=n_copies))
+    pieces: list[np.ndarray] = []
+    prev = 0
+    for pos in positions.tolist():
+        pieces.append(codes[prev:pos])
+        pieces.append(mutate(element, divergence, rng))
+        prev = pos
+    pieces.append(codes[prev:])
+    out = np.concatenate(pieces)
+    assert out.dtype == np.uint8 and out.max(initial=0) <= T
+    return out

@@ -1,0 +1,90 @@
+"""Unit + property tests for banded Needleman-Wunsch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.banded_nw import banded_align
+from repro.sequence.dna import encode
+
+dna_strings = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+class TestBandedAlign:
+    def test_identical(self):
+        r = banded_align(encode("ACGTACGT"), encode("ACGTACGT"))
+        assert r.matches == 8
+        assert r.mismatches == 0
+        assert r.gaps == 0
+        assert r.identity == 1.0
+        assert r.score == 8.0
+
+    def test_single_mismatch(self):
+        r = banded_align(encode("ACGTACGT"), encode("ACGAACGT"))
+        assert r.matches == 7
+        assert r.mismatches == 1
+        assert r.identity == pytest.approx(7 / 8)
+
+    def test_single_insertion(self):
+        r = banded_align(encode("ACGTACGT"), encode("ACGTTACGT"))
+        assert r.gaps == 1
+        assert r.matches == 8
+        assert r.length == 9
+
+    def test_single_deletion(self):
+        r = banded_align(encode("ACGTACGT"), encode("ACGACGT"))
+        assert r.gaps == 1
+        assert r.matches == 7
+
+    def test_empty_vs_seq(self):
+        r = banded_align(encode(""), encode("ACG"))
+        assert r.gaps == 3
+        assert r.matches == 0
+        assert r.length == 3
+
+    def test_both_empty(self):
+        r = banded_align(encode(""), encode(""))
+        assert r.length == 0
+        assert r.identity == 1.0
+
+    def test_band_widened_for_length_gap(self):
+        # len diff 10 > band 2 -> auto-widen must keep path feasible
+        r = banded_align(encode("A" * 5), encode("A" * 15), band=2)
+        assert r.matches == 5
+        assert r.gaps == 10
+
+    def test_invalid_scoring(self):
+        with pytest.raises(ValueError):
+            banded_align(encode("A"), encode("A"), gap=0)
+        with pytest.raises(ValueError):
+            banded_align(encode("A"), encode("A"), mismatch=2, match=1)
+
+    def test_score_consistency(self):
+        a, b = encode("ACGTGTCA"), encode("ACGTCA")
+        r = banded_align(a, b, match=1, mismatch=-1, gap=-2)
+        assert r.score == pytest.approx(r.matches - r.mismatches - 2 * r.gaps)
+
+    @settings(max_examples=40)
+    @given(dna_strings)
+    def test_self_alignment_perfect(self, s):
+        r = banded_align(encode(s), encode(s), band=3)
+        assert r.matches == len(s)
+        assert r.gaps == 0 and r.mismatches == 0
+
+    @settings(max_examples=40)
+    @given(dna_strings, dna_strings)
+    def test_length_accounting(self, s, t):
+        r = banded_align(encode(s), encode(t), band=8)
+        assert r.length == r.matches + r.mismatches + r.gaps
+        # every column consumes at least one base; gaps account for the rest
+        assert r.length >= max(len(s), len(t))
+        assert 0.0 <= r.identity <= 1.0
+
+    @settings(max_examples=30)
+    @given(dna_strings)
+    def test_symmetry_of_score(self, s):
+        t = s[::-1]
+        r1 = banded_align(encode(s), encode(t), band=10)
+        r2 = banded_align(encode(t), encode(s), band=10)
+        assert r1.score == pytest.approx(r2.score)

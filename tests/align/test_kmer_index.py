@@ -1,0 +1,84 @@
+"""Unit tests for the sorted k-mer index."""
+
+import numpy as np
+import pytest
+
+from repro.align.kmer_index import KmerIndex
+from repro.io.readset import ReadSet
+from repro.sequence.dna import encode
+from repro.sequence.kmers import kmer_codes
+
+
+class TestKmerIndex:
+    def test_build_counts(self):
+        rs = ReadSet.from_strings(["ACGTA", "CGT"])
+        idx = KmerIndex(rs, 3)
+        # read0 has 3 k-mers, read1 has 1
+        assert len(idx) == 4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KmerIndex(ReadSet.from_strings(["ACG"]), 0)
+
+    def test_lookup_positions(self):
+        rs = ReadSet.from_strings(["ACGTACGT"])
+        idx = KmerIndex(rs, 4)
+        vals = kmer_codes(encode("ACGT"), 4)
+        qpos, hit_reads, hit_offsets = idx.lookup(vals)
+        assert (hit_reads == 0).all()
+        assert sorted(hit_offsets.tolist()) == [0, 4]
+        assert (qpos == 0).all()
+
+    def test_lookup_absent(self):
+        rs = ReadSet.from_strings(["AAAA"])
+        idx = KmerIndex(rs, 3)
+        qpos, _, _ = idx.lookup(kmer_codes(encode("CCC"), 3))
+        assert qpos.size == 0
+
+    def test_lookup_skips_invalid(self):
+        rs = ReadSet.from_strings(["AAAA"])
+        idx = KmerIndex(rs, 3)
+        qpos, _, _ = idx.lookup(np.array([-1, -1]))
+        assert qpos.size == 0
+
+    def test_subset_restriction(self):
+        rs = ReadSet.from_strings(["ACGT", "ACGT", "ACGT"])
+        idx = KmerIndex(rs, 4, read_indices=np.array([1]))
+        _, hit_reads, _ = idx.lookup(kmer_codes(encode("ACGT"), 4))
+        assert set(hit_reads.tolist()) == {1}
+
+    def test_reads_shorter_than_k_skipped(self):
+        rs = ReadSet.from_strings(["AC", "ACGT"])
+        idx = KmerIndex(rs, 3)
+        assert set(idx.kmer_reads.tolist()) == {1}
+
+    def test_hit_counts(self):
+        rs = ReadSet.from_strings(["ACGTACGT", "ACGTAAAA"])
+        idx = KmerIndex(rs, 4)
+        counts = idx.hit_counts(kmer_codes(encode("ACGTACGT"), 4))
+        # 5 windows; the two ACGT windows each hit both ACGT positions -> 7 pairs
+        assert counts[0] == 7
+        assert counts[1] >= 1  # shares ACGT prefix k-mers
+
+    def test_hit_counts_exclude(self):
+        rs = ReadSet.from_strings(["ACGTACGT"])
+        idx = KmerIndex(rs, 4)
+        counts = idx.hit_counts(kmer_codes(encode("ACGTACGT"), 4), exclude_read=0)
+        assert counts == {}
+
+    def test_empty_index_lookup(self):
+        rs = ReadSet.from_strings([])
+        idx = KmerIndex(rs, 3)
+        qpos, _, _ = idx.lookup(np.array([5]))
+        assert qpos.size == 0
+
+    def test_lookup_query_positions_align(self):
+        # query read with known shared k-mer at a known offset
+        rs = ReadSet.from_strings(["TTTTACGTAC"])
+        idx = KmerIndex(rs, 5)
+        q = encode("GGACGTACGG")
+        vals = kmer_codes(q, 5)
+        qpos, hit_reads, hit_offsets = idx.lookup(vals)
+        # 'ACGTA' occurs at query offset 2 and ref offset 4
+        pairs = set(zip(qpos.tolist(), hit_offsets.tolist()))
+        assert (2, 4) in pairs

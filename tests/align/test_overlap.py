@@ -1,0 +1,89 @@
+"""Unit tests for overlap geometry and records."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.align.overlap import Overlap, OverlapKind, classify_overlap, overlap_span
+
+
+class TestOverlapSpan:
+    def test_positive_diagonal(self):
+        # query position = ref position + 30; reads of length 100
+        q, r, length = overlap_span(30, 100, 100)
+        assert (q, r, length) == (30, 0, 70)
+
+    def test_negative_diagonal(self):
+        q, r, length = overlap_span(-30, 100, 100)
+        assert (q, r, length) == (0, 30, 70)
+
+    def test_zero_diagonal(self):
+        assert overlap_span(0, 100, 100) == (0, 0, 100)
+
+    def test_containment_span(self):
+        # ref of 50 inside query of 100 at offset 20
+        q, r, length = overlap_span(20, 100, 50)
+        assert (q, r, length) == (20, 0, 50)
+
+    def test_disjoint(self):
+        _, _, length = overlap_span(150, 100, 100)
+        assert length <= 0
+
+    @given(
+        st.integers(min_value=-200, max_value=200),
+        st.integers(min_value=1, max_value=150),
+        st.integers(min_value=1, max_value=150),
+    )
+    def test_span_within_bounds(self, d, lq, lr):
+        q, r, length = overlap_span(d, lq, lr)
+        if length > 0:
+            assert 0 <= q and q + length <= lq
+            assert 0 <= r and r + length <= lr
+            assert q == 0 or r == 0  # one end is flush
+
+
+class TestClassifyOverlap:
+    def test_query_left(self):
+        assert classify_overlap(30, 0, 70, 100, 100) == OverlapKind.QUERY_LEFT
+
+    def test_query_right(self):
+        assert classify_overlap(0, 30, 70, 100, 100) == OverlapKind.QUERY_RIGHT
+
+    def test_query_contained(self):
+        assert classify_overlap(0, 20, 50, 50, 100) == OverlapKind.QUERY_CONTAINED
+
+    def test_ref_contained(self):
+        assert classify_overlap(20, 0, 50, 100, 50) == OverlapKind.REF_CONTAINED
+
+    def test_equal(self):
+        assert classify_overlap(0, 0, 100, 100, 100) == OverlapKind.EQUAL
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            classify_overlap(0, 0, 0, 10, 10)
+
+
+class TestOverlapRecord:
+    def make(self, kind=OverlapKind.QUERY_LEFT):
+        return Overlap(query=1, ref=2, q_start=30, r_start=0, length=70, identity=0.95, kind=kind)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Overlap(1, 2, 0, 0, -1, 0.9, OverlapKind.EQUAL)
+        with pytest.raises(ValueError):
+            Overlap(1, 2, 0, 0, 10, 1.5, OverlapKind.EQUAL)
+
+    def test_reversed_swaps_roles(self):
+        rev = self.make().reversed()
+        assert rev.query == 2 and rev.ref == 1
+        assert rev.q_start == 0 and rev.r_start == 30
+        assert rev.kind == OverlapKind.QUERY_RIGHT
+
+    def test_reversed_involution(self):
+        for kind in OverlapKind:
+            ov = self.make(kind)
+            assert ov.reversed().reversed() == ov
+
+    def test_containment_reversal(self):
+        ov = Overlap(1, 2, 0, 10, 50, 1.0, OverlapKind.QUERY_CONTAINED)
+        assert ov.reversed().kind == OverlapKind.REF_CONTAINED

@@ -1,0 +1,142 @@
+"""Unit + integration tests for the overlap detector."""
+
+import numpy as np
+import pytest
+
+from repro.align.overlap import OverlapKind
+from repro.align.overlapper import OverlapConfig, OverlapDetector, subset_pairs
+from repro.io.readset import ReadSet
+from repro.sequence.dna import decode
+from repro.simulate.genome import Genome, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+def tiled_reads(genome_len=600, read_len=100, stride=40, seed=0):
+    """Error-free reads tiled across a random genome at fixed stride."""
+    g = random_genome(genome_len, np.random.default_rng(seed))
+    seqs = [decode(g[s : s + read_len]) for s in range(0, genome_len - read_len + 1, stride)]
+    return ReadSet.from_strings(seqs), g
+
+
+class TestSubsetPairs:
+    def test_counts(self):
+        assert subset_pairs(1) == [(0, 0)]
+        assert len(subset_pairs(4)) == 10  # 4 choose 2 + 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            subset_pairs(0)
+
+
+class TestOverlapConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(k=0),
+            dict(min_kmer_hits=0),
+            dict(min_overlap=0),
+            dict(min_identity=1.2),
+            dict(method="smith_waterman"),
+            dict(n_subsets=0),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            OverlapConfig(**kw)
+
+
+class TestOverlapDetection:
+    def test_adjacent_reads_overlap(self):
+        reads, _ = tiled_reads()
+        det = OverlapDetector(OverlapConfig(min_overlap=50, min_kmer_hits=3))
+        overlaps = det.find_overlaps(reads)
+        found = {(o.query, o.ref) for o in overlaps}
+        # stride 40, read 100 -> neighbours overlap by 60, next-neighbours by 20 (<50)
+        n = len(reads)
+        for i in range(n - 1):
+            assert (i, i + 1) in found, f"missing adjacent overlap {i},{i+1}"
+        for i in range(n - 2):
+            assert (i, i + 2) not in found
+
+    def test_overlap_lengths_exact(self):
+        reads, _ = tiled_reads()
+        det = OverlapDetector(OverlapConfig(min_overlap=50))
+        for ov in det.find_overlaps(reads):
+            assert ov.length == 60
+            assert ov.identity == 1.0
+            assert ov.kind == OverlapKind.QUERY_LEFT  # later reads start further right
+
+    def test_no_duplicate_pairs(self):
+        reads, _ = tiled_reads()
+        det = OverlapDetector(OverlapConfig(min_overlap=50))
+        overlaps = det.find_overlaps(reads)
+        keys = [(o.query, o.ref) for o in overlaps]
+        assert len(keys) == len(set(keys))
+        assert all(q < r for q, r in keys)  # single subset -> ordered pairs
+
+    def test_subsets_find_same_overlaps(self):
+        reads, _ = tiled_reads(genome_len=800)
+        base = OverlapDetector(OverlapConfig(min_overlap=50)).find_overlaps(reads)
+        split = OverlapDetector(OverlapConfig(min_overlap=50, n_subsets=3)).find_overlaps(reads)
+        as_set = lambda ovs: {(min(o.query, o.ref), max(o.query, o.ref), o.length) for o in ovs}
+        assert as_set(base) == as_set(split)
+
+    def test_containment_detected(self):
+        reads, g = tiled_reads()
+        inner = decode(g[10:80])  # contained in read 0 (0..100)
+        reads2 = ReadSet.from_strings([reads.sequence_of(i) for i in range(len(reads))] + [inner])
+        det = OverlapDetector(OverlapConfig(min_overlap=50))
+        overlaps = det.find_overlaps(reads2)
+        cont = [o for o in overlaps if OverlapKind.QUERY_CONTAINED in (o.kind,) or o.kind == OverlapKind.REF_CONTAINED]
+        assert any(
+            (o.query == len(reads2) - 1 and o.kind == OverlapKind.REF_CONTAINED)
+            or (o.ref == len(reads2) - 1 and o.kind == OverlapKind.QUERY_CONTAINED)
+            for o in overlaps
+        ) or cont
+
+    def test_identity_threshold_enforced(self):
+        reads, _ = tiled_reads()
+        seqs = [reads.sequence_of(i) for i in range(2)]
+        # corrupt 20% of the second read's overlap region
+        s1 = list(seqs[1])
+        for i in range(0, 60, 5):
+            s1[i] = "A" if s1[i] != "A" else "C"
+        noisy = ReadSet.from_strings([seqs[0], "".join(s1)])
+        det = OverlapDetector(OverlapConfig(min_overlap=50, min_identity=0.95, min_kmer_hits=1))
+        assert det.find_overlaps(noisy) == []
+
+    def test_banded_nw_method_agrees_on_clean_data(self):
+        reads, _ = tiled_reads(genome_len=400)
+        fast = OverlapDetector(OverlapConfig(min_overlap=50)).find_overlaps(reads)
+        nw = OverlapDetector(OverlapConfig(min_overlap=50, method="banded_nw")).find_overlaps(reads)
+        key = lambda ovs: {(o.query, o.ref) for o in ovs}
+        assert key(fast) == key(nw)
+
+    def test_simulated_reads_with_errors(self):
+        g = Genome("g", random_genome(3000, np.random.default_rng(1)))
+        sim = ReadSimulator(ReadSimConfig(read_length=100, coverage=8, seed=1))
+        reads = sim.simulate_genome(g)
+        det = OverlapDetector(OverlapConfig(min_overlap=50, min_identity=0.9))
+        overlaps = det.find_overlaps(reads)
+        # At 8x coverage nearly every read overlaps several others.
+        assert len(overlaps) > len(reads)
+        # Verify detected overlaps against ground-truth positions (same-strand pairs).
+        checked = 0
+        for ov in overlaps[:200]:
+            mq, mr = reads.meta[ov.query], reads.meta[ov.ref]
+            if mq["strand"] == "+" and mr["strand"] == "+":
+                true_diag = mr["position"] - mq["position"]
+                assert ov.q_start - ov.r_start == true_diag
+                checked += 1
+        assert checked > 0
+
+    def test_empty_readset(self):
+        det = OverlapDetector()
+        assert det.find_overlaps(ReadSet.from_strings([])) == []
+
+    def test_no_overlap_between_unrelated(self):
+        rng = np.random.default_rng
+        a = decode(random_genome(100, rng(1)))
+        b = decode(random_genome(100, rng(2)))
+        det = OverlapDetector(OverlapConfig(min_overlap=50))
+        assert det.find_overlaps(ReadSet.from_strings([a, b])) == []

@@ -1,0 +1,66 @@
+"""Tests for abundance profiling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.abundance import abundance_error, estimate_abundances, profile_community
+from repro.simulate.community import CommunityConfig, build_community
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+class TestEstimateAbundances:
+    def test_length_normalisation(self):
+        # genus B has a genome twice as long; equal read counts mean
+        # B is half as abundant
+        est = estimate_abundances(
+            ["A"] * 10 + ["B"] * 10, ["A", "B"], {"A": 1000, "B": 2000}
+        )
+        assert est[0] == pytest.approx(2 / 3)
+        assert est[1] == pytest.approx(1 / 3)
+
+    def test_unclassified_ignored(self):
+        est = estimate_abundances(["A", None, "A", "X"], ["A", "B"], {"A": 100, "B": 100})
+        assert est[0] == 1.0 and est[1] == 0.0
+
+    def test_empty_counts(self):
+        est = estimate_abundances([None], ["A"], {"A": 100})
+        assert est[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_abundances([], [], {})
+        with pytest.raises(ValueError):
+            estimate_abundances(["A"], ["A"], {"A": 0})
+
+
+class TestAbundanceError:
+    def test_identical_zero(self):
+        p = np.array([0.3, 0.7])
+        assert abundance_error(p, p) == 0.0
+
+    def test_disjoint_one(self):
+        assert abundance_error(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            abundance_error(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestProfileCommunity:
+    def test_recovers_simulated_profile(self):
+        community = build_community(
+            CommunityConfig(shared_length=2500, private_length=2000, repeat_copies=0),
+            seed=61,
+        )
+        reads = ReadSimulator(
+            ReadSimConfig(read_length=100, coverage=4, seed=61)
+        ).simulate_community(community)
+        genera, estimated, truth, err = profile_community(reads, community)
+        assert len(genera) == 10
+        assert estimated.sum() == pytest.approx(1.0)
+        # classification against own references is near-perfect, so the
+        # profile error is just multinomial sampling noise
+        assert err < 0.05
+        # strong profile agreement (exact argmax can flip between two
+        # near-equal genera under sampling noise)
+        assert np.corrcoef(estimated, truth)[0, 1] > 0.9

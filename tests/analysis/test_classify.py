@@ -1,0 +1,70 @@
+"""Tests for the k-mer read classifier (BWA substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import KmerClassifier
+from repro.simulate.community import CommunityConfig, build_community
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def community():
+    return build_community(
+        CommunityConfig(shared_length=3000, private_length=2000, repeat_copies=0, seed=9)
+    )
+
+
+@pytest.fixture(scope="module")
+def classifier(community):
+    return KmerClassifier(community.reference_database(), k=21)
+
+
+class TestKmerClassifier:
+    def test_construction_validations(self):
+        with pytest.raises(ValueError):
+            KmerClassifier([])
+
+    def test_reference_reads_classified(self, community, classifier):
+        sim = ReadSimulator(ReadSimConfig(read_length=100, coverage=0.5, seed=9))
+        reads = sim.simulate_community(community)
+        acc = classifier.accuracy_against_truth(reads)
+        assert acc > 0.9
+
+    def test_classify_private_region_exact(self, community, classifier):
+        g = community.genome_by_genus("Prevotella")
+        cfg = community.config
+        # private region is genus-unique sequence
+        frag = g.codes[cfg.shared_length + 100 : cfg.shared_length + 300]
+        assert classifier.classify_codes(frag) == "Prevotella"
+
+    def test_unrelated_sequence_unclassified(self, classifier):
+        from repro.simulate.genome import random_genome
+
+        alien = random_genome(200, np.random.default_rng(12345))
+        # random 200bp shares essentially no exact 21-mers with references
+        assert classifier.classify_codes(alien) is None
+
+    def test_short_read_unclassified(self, classifier):
+        assert classifier.classify_codes(np.zeros(5, dtype=np.uint8)) is None
+
+    def test_min_votes_respected(self, community, classifier):
+        g = community.genome_by_genus("Alistipes")
+        cfg = community.config
+        frag = g.codes[cfg.shared_length + 50 : cfg.shared_length + 130]
+        assert classifier.classify_codes(frag, min_votes=1) == "Alistipes"
+        assert classifier.classify_codes(frag, min_votes=10**6) is None
+
+    def test_strand_invariance(self, community, classifier):
+        from repro.sequence.dna import reverse_complement
+
+        g = community.genome_by_genus("Escherichia")
+        cfg = community.config
+        frag = g.codes[cfg.shared_length + 200 : cfg.shared_length + 400]
+        assert classifier.classify_codes(reverse_complement(frag)) == "Escherichia"
+
+    def test_accuracy_requires_truth(self, classifier):
+        from repro.io.readset import ReadSet
+
+        with pytest.raises(ValueError):
+            classifier.accuracy_against_truth(ReadSet.from_strings(["ACGT" * 30]))

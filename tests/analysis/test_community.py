@@ -1,0 +1,109 @@
+"""Tests for genus-partition distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.community import (
+    genus_partition_matrix,
+    max_fraction_per_genus,
+    normalized_entropy_per_genus,
+    phylum_colocation,
+    profile_correlation,
+)
+from repro.analysis.heatmap import render_heatmap
+
+
+class TestGenusPartitionMatrix:
+    def test_simple(self):
+        genera = ["A", "B"]
+        labels = ["A", "A", "A", "B", None]
+        parts = np.array([0, 0, 1, 1, 0])
+        m = genus_partition_matrix(labels, parts, genera, k=2)
+        assert m[0].tolist() == [2 / 3, 1 / 3]
+        assert m[1].tolist() == [0.0, 1.0]
+
+    def test_rows_sum_to_one_or_zero(self):
+        genera = ["A", "B", "C"]
+        labels = ["A", "B", "A"]
+        parts = np.array([0, 1, 2])
+        m = genus_partition_matrix(labels, parts, genera, k=3)
+        sums = m.sum(axis=1)
+        assert sums[0] == pytest.approx(1.0)
+        assert sums[2] == 0.0  # genus C had no reads
+
+    def test_unknown_genus_ignored(self):
+        m = genus_partition_matrix(["X"], np.array([0]), ["A"], k=1)
+        assert m[0, 0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            genus_partition_matrix(["A"], np.array([0, 1]), ["A"], k=2)
+        with pytest.raises(ValueError):
+            genus_partition_matrix(["A"], np.array([5]), ["A"], k=2)
+
+
+class TestConcentrationMeasures:
+    def test_max_fraction(self):
+        m = np.array([[1.0, 0.0], [0.5, 0.5]])
+        assert max_fraction_per_genus(m).tolist() == [1.0, 0.5]
+
+    def test_entropy_extremes(self):
+        m = np.array([[1.0, 0.0, 0.0, 0.0], [0.25, 0.25, 0.25, 0.25]])
+        ent = normalized_entropy_per_genus(m)
+        assert ent[0] == pytest.approx(0.0)
+        assert ent[1] == pytest.approx(1.0)
+
+    def test_entropy_zero_row(self):
+        ent = normalized_entropy_per_genus(np.zeros((1, 4)))
+        assert ent[0] == 1.0
+
+    def test_entropy_single_column(self):
+        assert normalized_entropy_per_genus(np.ones((2, 1))).tolist() == [0.0, 0.0]
+
+
+class TestCorrelation:
+    def test_identical_profiles(self):
+        m = np.array([[0.8, 0.2, 0.0], [0.8, 0.2, 0.0]])
+        assert profile_correlation(m, 0, 1) == pytest.approx(1.0)
+
+    def test_opposite_profiles(self):
+        m = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert profile_correlation(m, 0, 1) == pytest.approx(-1.0)
+
+    def test_flat_profile_zero(self):
+        m = np.array([[0.5, 0.5], [1.0, 0.0]])
+        assert profile_correlation(m, 0, 1) == 0.0
+
+    def test_phylum_colocation(self):
+        genera = ["a1", "a2", "b1"]
+        phylum = {"a1": "P1", "a2": "P1", "b1": "P2"}
+        m = np.array([[0.9, 0.1, 0.0], [0.8, 0.2, 0.0], [0.0, 0.1, 0.9]])
+        same, cross = phylum_colocation(m, genera, phylum)
+        assert same > 0.9
+        assert cross < 0.0
+
+    def test_colocation_skips_empty_rows(self):
+        genera = ["a1", "a2"]
+        phylum = {"a1": "P", "a2": "P"}
+        m = np.array([[1.0, 0.0], [0.0, 0.0]])
+        same, cross = phylum_colocation(m, genera, phylum)
+        assert same == 0.0 and cross == 0.0
+
+
+class TestHeatmap:
+    def test_render_contains_labels(self):
+        m = np.array([[0.9, 0.1], [0.2, 0.8]])
+        out = render_heatmap(m, ["Bacteroides", "Roseburia"])
+        assert "Bacteroides" in out and "Roseburia" in out
+        assert "P0" in out and "P1" in out
+
+    def test_peak_is_darkest(self):
+        m = np.array([[0.05, 0.95]])
+        out = render_heatmap(m, ["g"]).splitlines()[1]
+        assert "@" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 2)), ["only-one"])
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(3), ["a"])

@@ -1,0 +1,72 @@
+"""Tests for the benchmark harness pieces."""
+
+import pytest
+
+from repro.bench.datasets import STANDARD_SPECS, DatasetSpec, build_dataset
+from repro.bench.reporting import format_series, format_table
+from repro.simulate.community import CommunityConfig
+from repro.simulate.reads import ReadSimConfig
+
+
+def tiny_spec(name="T", seed=5):
+    return DatasetSpec(
+        name=name,
+        seed=seed,
+        community=CommunityConfig(shared_length=1500, private_length=800, repeat_copies=0),
+        reads=ReadSimConfig(read_length=100, coverage=2.0),
+    )
+
+
+class TestDatasets:
+    def test_three_standard_specs(self):
+        assert [s.name for s in STANDARD_SPECS] == ["D1", "D2", "D3"]
+        assert len({s.seed for s in STANDARD_SPECS}) == 3
+
+    def test_build_dataset(self):
+        ds = build_dataset(tiny_spec())
+        assert ds.name == "T"
+        assert ds.n_reads > 0
+        assert ds.read_length == 100
+        assert ds.total_bases == ds.n_reads * 100
+
+    def test_deterministic(self):
+        a = build_dataset(tiny_spec())
+        b = build_dataset(tiny_spec())
+        assert (a.reads.data == b.reads.data).all()
+
+    def test_seeds_differ(self):
+        a = build_dataset(tiny_spec(seed=5))
+        b = build_dataset(tiny_spec(seed=6))
+        assert not (
+            a.reads.data[: min(a.reads.total_bases, b.reads.total_bases)]
+            == b.reads.data[: min(a.reads.total_bases, b.reads.total_bases)]
+        ).all()
+
+    def test_reads_carry_truth_labels(self):
+        ds = build_dataset(tiny_spec())
+        assert all("genus" in m for m in ds.reads.meta)
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [3, 0.001]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        out = format_series("speedup", [1, 2], [1.0, 1.9], x_label="p")
+        assert "# speedup" in out
+        assert "p=1" in out and "speedup=1.9" in out
+
+    def test_format_series_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+    def test_empty_table(self):
+        out = format_table(["x"], [])
+        assert "x" in out

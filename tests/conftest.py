@@ -1,0 +1,15 @@
+"""Repository-wide test configuration.
+
+Hypothesis deadlines are disabled: property tests share the machine
+with benchmark runs and simulated-cluster threads, and wall-clock
+deadlines turn load spikes into spurious failures.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io.fasta import parse_fasta
+from repro.io.fastq import parse_fastq
+
+
+@pytest.fixture
+def genome_fasta(tmp_path):
+    path = tmp_path / "genome.fasta"
+    assert main(["simulate-genome", "--length", "6000", "--seed", "1", "-o", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def reads_fastq(tmp_path, genome_fasta):
+    path = tmp_path / "reads.fastq"
+    rc = main(
+        ["simulate-reads", "--genome", str(genome_fasta), "--coverage", "10",
+         "--seed", "1", "-o", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+class TestSimulateCommands:
+    def test_simulate_genome(self, genome_fasta):
+        recs = list(parse_fasta(genome_fasta))
+        assert len(recs) == 1
+        assert len(recs[0]) == 6000
+
+    def test_simulate_reads(self, reads_fastq):
+        reads = list(parse_fastq(reads_fastq))
+        assert len(reads) == 600
+        assert all(len(r) == 100 for r in reads)
+        assert all(r.quals is not None for r in reads)
+
+    def test_simulate_reads_missing_genome(self, tmp_path):
+        empty = tmp_path / "empty.fasta"
+        empty.write_text("")
+        rc = main(["simulate-reads", "--genome", str(empty), "-o", str(tmp_path / "r.fq")])
+        assert rc == 1
+
+    def test_simulate_community(self, tmp_path):
+        reads_path = tmp_path / "community.fastq"
+        refs_path = tmp_path / "refs.fasta"
+        rc = main(
+            ["simulate-community", "--seed", "3", "--coverage", "2",
+             "--shared-length", "1500", "--private-length", "1000",
+             "-o", str(reads_path), "--refs", str(refs_path)]
+        )
+        assert rc == 0
+        assert len(list(parse_fastq(reads_path))) > 100
+        refs = list(parse_fasta(refs_path))
+        assert len(refs) == 10  # the ten gut genera
+
+
+class TestAssembleAndStats:
+    def test_assemble_roundtrip(self, tmp_path, reads_fastq, capsys):
+        contigs_path = tmp_path / "contigs.fasta"
+        rc = main(
+            ["assemble", str(reads_fastq), "-o", str(contigs_path), "--partitions", "2"]
+        )
+        assert rc == 0
+        contigs = list(parse_fasta(contigs_path))
+        assert len(contigs) >= 1
+        assert sum(len(c) for c in contigs) > 3000
+        out = capsys.readouterr().out
+        assert "N50" in out
+
+    def test_assemble_empty_input(self, tmp_path):
+        empty = tmp_path / "none.fasta"
+        empty.write_text("")
+        rc = main(["assemble", str(empty), "-o", str(tmp_path / "c.fasta")])
+        assert rc == 1
+
+    def test_stats(self, tmp_path, capsys):
+        path = tmp_path / "c.fasta"
+        path.write_text(">a\n" + "A" * 300 + "\n>b\n" + "C" * 100 + "\n")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "N50:         300" in out
+        assert "contigs:     2" in out
+
+    def test_stats_empty(self, tmp_path):
+        path = tmp_path / "c.fasta"
+        path.write_text("")
+        assert main(["stats", str(path)]) == 1
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,58 @@
+"""Unit tests for assembly statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stats import AssemblyStats, n50
+
+
+class TestN50:
+    def test_single_contig(self):
+        assert n50([100]) == 100
+
+    def test_classic_example(self):
+        # total 100: sorted desc 40, 30, 20, 10; half = 50 reached at 30
+        assert n50([10, 20, 30, 40]) == 30
+
+    def test_equal_contigs(self):
+        assert n50([50, 50]) == 50
+
+    def test_empty(self):
+        assert n50([]) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            n50([-1])
+
+    def test_dominant_contig(self):
+        assert n50([1000, 1, 1, 1]) == 1000
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=50))
+    def test_n50_is_a_contig_length(self, lengths):
+        assert n50(lengths) in lengths
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=50))
+    def test_n50_definition(self, lengths):
+        value = n50(lengths)
+        total = sum(lengths)
+        covered = sum(x for x in lengths if x >= value)
+        assert covered * 2 >= total
+
+
+class TestAssemblyStats:
+    def test_from_contigs(self):
+        contigs = [np.zeros(100, dtype=np.uint8), np.zeros(50, dtype=np.uint8)]
+        s = AssemblyStats.from_contigs(contigs)
+        assert s.n_contigs == 2
+        assert s.total_bases == 150
+        assert s.max_contig == 100
+        assert s.n50 == 100
+        assert s.mean_contig == 75.0
+
+    def test_empty(self):
+        s = AssemblyStats.from_contigs([])
+        assert s.n_contigs == 0
+        assert s.n50 == 0
+        assert s.mean_contig == 0.0

@@ -1,0 +1,80 @@
+"""Tests for the k-mer spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.correct.spectrum import KmerSpectrum
+from repro.io.readset import ReadSet
+from repro.sequence.dna import decode
+from repro.sequence.kmers import canonical_kmer_codes, pack_kmer
+from repro.simulate.genome import Genome, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+def coverage_reads(genome_len=2000, coverage=10, seed=0, error=0.0):
+    g = Genome("g", random_genome(genome_len, np.random.default_rng(seed)))
+    sim = ReadSimulator(
+        ReadSimConfig(read_length=100, coverage=coverage, seed=seed, flat_error_rate=error)
+    )
+    return g, sim.simulate_genome(g)
+
+
+class TestKmerSpectrum:
+    def test_counts_simple(self):
+        # sequence chosen so no window is another's reverse complement
+        rs = ReadSet.from_strings(["AAACCCAT", "AAACCCAT"])
+        spec = KmerSpectrum(rs, k=5, threshold=2)
+        vals = canonical_kmer_codes(rs.codes_of(0), 5)
+        assert (spec.counts_of(vals) == 2).all()
+
+    def test_count_absent(self):
+        rs = ReadSet.from_strings(["AAAAAA"])
+        spec = KmerSpectrum(rs, k=4, threshold=1)
+        from repro.sequence.dna import encode
+
+        missing = min(pack_kmer(encode("CCCC")), pack_kmer(encode("GGGG")))
+        assert spec.count(missing) == 0
+
+    def test_canonical_counting(self):
+        # a read and its revcomp contribute to the same canonical k-mers
+        rs = ReadSet.from_strings(["ACGTAG", "CTACGT"])
+        spec = KmerSpectrum(rs, k=6, threshold=1)
+        assert spec.n_distinct == 1
+        assert spec.counts[0] == 2
+
+    def test_threshold_estimation_bimodal(self):
+        # 10x coverage + errors: valley between error peak and main peak
+        _, reads = coverage_reads(coverage=12, error=0.01, seed=3)
+        spec = KmerSpectrum(reads, k=21)
+        assert 2 <= spec.threshold <= 6
+
+    def test_solid_fraction_high_for_clean_reads(self):
+        _, reads = coverage_reads(coverage=10, error=0.0, seed=1)
+        spec = KmerSpectrum(reads, k=21, threshold=3)
+        assert spec.n_solid > 0.85 * spec.n_distinct
+
+    def test_errors_create_weak_kmers(self):
+        _, clean = coverage_reads(coverage=10, error=0.0, seed=2)
+        _, noisy = coverage_reads(coverage=10, error=0.01, seed=2)
+        s_clean = KmerSpectrum(clean, k=21, threshold=3)
+        s_noisy = KmerSpectrum(noisy, k=21, threshold=3)
+        frac_clean = s_clean.n_solid / s_clean.n_distinct
+        frac_noisy = s_noisy.n_solid / s_noisy.n_distinct
+        assert frac_noisy < frac_clean
+
+    def test_histogram_total(self):
+        rs = ReadSet.from_strings(["ACGTACGTAC"])
+        spec = KmerSpectrum(rs, k=5, threshold=1)
+        assert spec.histogram().sum() == spec.n_distinct
+
+    def test_empty_readset(self):
+        spec = KmerSpectrum(ReadSet.from_strings([]), k=5, threshold=2)
+        assert spec.n_distinct == 0
+        assert spec.counts_of(np.array([3, -1])).tolist() == [0, 0]
+
+    def test_invalid_params(self):
+        rs = ReadSet.from_strings(["ACGT"])
+        with pytest.raises(ValueError):
+            KmerSpectrum(rs, k=0)
+        with pytest.raises(ValueError):
+            KmerSpectrum(rs, k=3, threshold=0)

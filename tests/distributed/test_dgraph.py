@@ -1,0 +1,96 @@
+"""Unit + integration tests for the distributed assembly graph."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.dgraph import DistributedAssemblyGraph, enrich_hybrid
+from repro.sequence.dna import decode
+from tests.distributed.conftest import chain_assembly, dag_of, make_assembly
+
+
+class TestEnrichHybrid:
+    def test_contigs_cover_genome(self, pipeline_graphs):
+        reads, genome, g0, mls, hyb = pipeline_graphs
+        asm = enrich_hybrid(hyb, g0, reads)
+        assert len(asm.contigs) == hyb.hybrid.n_nodes
+        genome_str = decode(genome)
+        for c in asm.contigs:
+            assert decode(c) in genome_str  # consensus is error-free here
+
+    def test_deltas_match_genome_offsets(self, pipeline_graphs):
+        reads, genome, g0, mls, hyb = pipeline_graphs
+        asm = enrich_hybrid(hyb, g0, reads)
+        genome_str = decode(genome)
+        pos = [genome_str.find(decode(c)) for c in asm.contigs]
+        g = asm.graph
+        for e in range(g.n_edges):
+            u, v = int(g.eu[e]), int(g.ev[e])
+            assert int(g.deltas[e]) == pos[v] - pos[u]
+
+    def test_weights_are_overlaps(self, pipeline_graphs):
+        reads, genome, g0, mls, hyb = pipeline_graphs
+        asm = enrich_hybrid(hyb, g0, reads)
+        g = asm.graph
+        lengths = asm.contig_lengths
+        for e in range(g.n_edges):
+            u, v, d = int(g.eu[e]), int(g.ev[e]), int(g.deltas[e])
+            expect = min(lengths[u], d + lengths[v]) - max(0, d)
+            assert g.weights[e] == max(expect, 1)
+
+    def test_contig_lengths(self):
+        asm, _ = chain_assembly()
+        assert (asm.contig_lengths == 120).all()
+
+
+class TestDistributedAssemblyGraph:
+    def test_partition_nodes(self):
+        asm, _ = chain_assembly(n=6)
+        dag = dag_of(asm, [0, 0, 0, 1, 1, 1])
+        assert dag.partition_nodes(0).tolist() == [0, 1, 2]
+        assert dag.partition_nodes(1).tolist() == [3, 4, 5]
+        assert dag.n_parts == 2
+
+    def test_labels_validation(self):
+        asm, _ = chain_assembly(n=3)
+        with pytest.raises(ValueError):
+            DistributedAssemblyGraph(asm, np.array([0, 1]))
+        with pytest.raises(ValueError):
+            DistributedAssemblyGraph(asm, np.array([0, -1, 0]))
+
+    def test_out_in_edges(self):
+        asm, _ = chain_assembly(n=3)
+        dag = dag_of(asm, [0, 0, 0])
+        # node 1 has an in-edge from 0 and out-edge to 2
+        out_n, _ = dag.out_edges(1)
+        in_n, _ = dag.in_edges(1)
+        assert out_n.tolist() == [2]
+        assert in_n.tolist() == [0]
+
+    def test_remove_edges(self):
+        asm, _ = chain_assembly(n=3)
+        dag = dag_of(asm, [0, 0, 0])
+        _, eids = dag.alive_incident(0)
+        assert dag.remove_edges(eids.tolist()) == 1
+        assert dag.alive_degree(0) == 0
+        assert dag.n_alive_edges == 1
+
+    def test_remove_nodes_kills_incident_edges(self):
+        asm, _ = chain_assembly(n=3)
+        dag = dag_of(asm, [0, 0, 0])
+        assert dag.remove_nodes([1]) == 1
+        assert dag.alive_degree(0) == 0
+        assert dag.alive_degree(2) == 0
+        assert dag.n_alive_nodes == 2
+        assert dag.n_alive_edges == 0
+
+    def test_remove_idempotent(self):
+        asm, _ = chain_assembly(n=3)
+        dag = dag_of(asm, [0, 0, 0])
+        assert dag.remove_nodes([1]) == 1
+        assert dag.remove_nodes([1]) == 0
+
+    def test_remove_empty(self):
+        asm, _ = chain_assembly(n=3)
+        dag = dag_of(asm, [0, 0, 0])
+        assert dag.remove_nodes([]) == 0
+        assert dag.remove_edges([]) == 0

@@ -1,0 +1,156 @@
+"""Tests for dead-end trimming, bubble popping, and traversal."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.traversal import (
+    contigs_from_paths,
+    extract_subpaths,
+    join_subpaths,
+    maximal_paths,
+)
+from repro.distributed.trimming import (
+    find_bubbles,
+    find_dead_ends,
+    pop_bubbles,
+    trim_dead_ends,
+)
+from repro.sequence.dna import decode
+from repro.simulate.genome import random_genome
+from tests.distributed.conftest import chain_assembly, dag_of, make_assembly, run_on_cluster
+
+
+def spur_assembly():
+    """Backbone 0-1-2-3 (200bp contigs) with a short spur 4 off node 1."""
+    rng = np.random.default_rng(7)
+    genome = random_genome(500, rng)
+    contigs = [genome[0:200], genome[100:300], genome[200:400], genome[300:500],
+               random_genome(60, rng)]
+    edges = [(0, 1, 100), (1, 2, 100), (2, 3, 100), (1, 4, 30)]
+    return make_assembly(contigs, edges), genome
+
+
+def bubble_assembly():
+    """v(0) - {a(1), b(2)} - w(3) with a longer than b."""
+    rng = np.random.default_rng(8)
+    genome = random_genome(260, rng)
+    contigs = [genome[0:100], genome[60:180], genome[60:150], genome[140:240]]
+    edges = [(0, 1, 60), (0, 2, 60), (1, 3, 80), (2, 3, 80)]
+    return make_assembly(contigs, edges), genome
+
+
+class TestDeadEnds:
+    def test_spur_detected(self):
+        asm, _ = spur_assembly()
+        dag = dag_of(asm, [0] * 5)
+        assert find_dead_ends(dag, np.arange(5)) == [4]
+
+    def test_backbone_tips_not_removed(self):
+        # chain ends are degree-1 but lead into degree-2 nodes, never a
+        # junction, so nothing is trimmed
+        asm, _ = chain_assembly()
+        dag = dag_of(asm, [0] * 6)
+        assert find_dead_ends(dag, np.arange(6)) == []
+
+    def test_long_spur_kept(self):
+        asm, _ = spur_assembly()
+        dag = dag_of(asm, [0] * 5)
+        # threshold below the spur's 60bp contig: nothing is short enough
+        assert find_dead_ends(dag, np.arange(5), max_tip_bases=50) == []
+
+    def test_backbone_end_never_trimmed(self):
+        asm, _ = spur_assembly()
+        dag = dag_of(asm, [0] * 5)
+        # even a generous threshold keeps the 200bp backbone ends
+        found = find_dead_ends(dag, np.arange(5), max_tip_bases=150)
+        assert 0 not in found and 3 not in found
+
+    def test_distributed_run(self):
+        asm, _ = spur_assembly()
+        dag = dag_of(asm, [0, 0, 1, 1, 1])
+        results, stats = run_on_cluster(trim_dead_ends, dag, 2)
+        assert results == [1, 1]
+        assert not dag.node_alive[4]
+        assert stats.elapsed > 0
+
+
+class TestBubbles:
+    def test_bubble_pops_shorter_branch(self):
+        asm, _ = bubble_assembly()
+        dag = dag_of(asm, [0] * 4)
+        # branch 2 (90bp) is shorter than branch 1 (120bp)
+        assert find_bubbles(dag, np.array([0])) == [2]
+
+    def test_no_bubble_in_chain(self):
+        asm, _ = chain_assembly()
+        dag = dag_of(asm, [0] * 6)
+        assert find_bubbles(dag, np.arange(6)) == []
+
+    def test_distributed_run(self):
+        asm, _ = bubble_assembly()
+        dag = dag_of(asm, [0, 0, 1, 1])
+        results, _ = run_on_cluster(pop_bubbles, dag, 2)
+        assert results[0] == 1
+        assert not dag.node_alive[2]
+        # after popping, the graph is a clean chain 0-1-3
+        assert dag.alive_degree(0) == 1
+        assert dag.alive_degree(3) == 1
+
+
+class TestTraversal:
+    def test_single_partition_full_path(self):
+        asm, genome = chain_assembly()
+        dag = dag_of(asm, [0] * 6)
+        visited = np.zeros(6, dtype=bool)
+        paths = extract_subpaths(dag, 0, visited)
+        assert len(paths) == 1
+        assert paths[0] == [0, 1, 2, 3, 4, 5] or paths[0] == [5, 4, 3, 2, 1, 0]
+
+    def test_partition_boundary_splits_then_joins(self):
+        asm, _ = chain_assembly()
+        dag = dag_of(asm, [0, 0, 0, 1, 1, 1])
+        visited = np.zeros(6, dtype=bool)
+        sub0 = extract_subpaths(dag, 0, visited)
+        sub1 = extract_subpaths(dag, 1, visited)
+        assert len(sub0) == 1 and len(sub1) == 1
+        joined = join_subpaths(dag, sub0 + sub1)
+        assert len(joined) == 1
+        assert joined[0] == [0, 1, 2, 3, 4, 5]
+
+    def test_junction_stops_path(self):
+        asm, _ = spur_assembly()
+        dag = dag_of(asm, [0] * 5)
+        visited = np.zeros(5, dtype=bool)
+        paths = extract_subpaths(dag, 0, visited)
+        # node 1 has two out-edges (to 2 and 4): no single path spans all
+        assert all(len(p) < 5 for p in paths)
+
+    def test_distributed_traversal_matches_serial(self):
+        asm, _ = chain_assembly(n=8)
+        for parts in ([0] * 8, [0] * 4 + [1] * 4, [0, 0, 1, 1, 2, 2, 3, 3]):
+            dag = dag_of(asm, parts)
+            k = max(parts) + 1
+            results, _ = run_on_cluster(maximal_paths, dag, k)
+            assert results[0] is not None
+            assert sorted(len(p) for p in results[0]) == [8]
+
+    def test_contigs_from_paths_reconstruct_genome(self):
+        asm, genome = chain_assembly()
+        dag = dag_of(asm, [0] * 6)
+        visited = np.zeros(6, dtype=bool)
+        paths = extract_subpaths(dag, 0, visited)
+        contigs = contigs_from_paths(dag, paths)
+        assert len(contigs) == 1
+        assert decode(contigs[0]) == decode(genome)
+
+    def test_single_node_path_contig(self):
+        asm, _ = chain_assembly(n=2)
+        dag = dag_of(asm, [0, 0])
+        contigs = contigs_from_paths(dag, [[0]])
+        assert decode(contigs[0]) == decode(asm.contigs[0])
+
+    def test_invalid_path_step_raises(self):
+        asm, _ = chain_assembly(n=3)
+        dag = dag_of(asm, [0] * 3)
+        with pytest.raises(ValueError, match="no alive edge"):
+            contigs_from_paths(dag, [[0, 2]])

@@ -1,0 +1,104 @@
+"""Tests for distributed variant detection (the paper's named extension)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.variants import Variant, detect_variants, find_bubble_variants
+from repro.sequence.dna import decode, encode
+from repro.simulate.genome import random_genome
+from tests.distributed.conftest import chain_assembly, dag_of, make_assembly, run_on_cluster
+
+
+def snv_bubble_assembly(n_snvs=2, seed=12):
+    """v(0) - {ref(1), alt(2)} - w(3): branches differ by n_snvs SNVs."""
+    rng = np.random.default_rng(seed)
+    genome = random_genome(320, rng)
+    ref_branch = genome[60:200].copy()
+    alt_branch = ref_branch.copy()
+    positions = np.linspace(20, ref_branch.size - 20, n_snvs).astype(int)
+    for p in positions:
+        alt_branch[p] = (alt_branch[p] + 1) % 4
+    contigs = [genome[0:100], ref_branch, alt_branch, genome[160:280]]
+    edges = [(0, 1, 60), (0, 2, 60), (1, 3, 100), (2, 3, 100)]
+    return make_assembly(contigs, edges), positions
+
+
+def indel_bubble_assembly(seed=13):
+    rng = np.random.default_rng(seed)
+    genome = random_genome(320, rng)
+    ref_branch = genome[60:200].copy()
+    alt_branch = np.delete(ref_branch, np.arange(70, 75))  # 5bp deletion
+    contigs = [genome[0:100], ref_branch, alt_branch, genome[160:280]]
+    edges = [(0, 1, 60), (0, 2, 60), (1, 3, 100), (2, 3, 95)]
+    return make_assembly(contigs, edges), None
+
+
+class TestFindBubbleVariants:
+    def test_snvs_called_at_right_positions(self):
+        asm, positions = snv_bubble_assembly(n_snvs=3)
+        dag = dag_of(asm, [0] * 4)
+        variants = find_bubble_variants(dag, np.arange(4))
+        snvs = [v for v in variants if v.kind == "snv"]
+        assert sorted(v.position for v in snvs) == sorted(positions.tolist())
+        for v in snvs:
+            assert v.ref_allele != v.alt_allele
+            assert {v.ref_node, v.alt_node} == {1, 2}
+
+    def test_indel_called(self):
+        asm, _ = indel_bubble_assembly()
+        dag = dag_of(asm, [0] * 4)
+        variants = find_bubble_variants(dag, np.arange(4))
+        assert any(v.kind == "indel" for v in variants)
+        indel = next(v for v in variants if v.kind == "indel")
+        assert indel.ref_node == 1  # longer branch is the reference
+
+    def test_clean_chain_no_variants(self):
+        asm, _ = chain_assembly()
+        dag = dag_of(asm, [0] * 6)
+        assert find_bubble_variants(dag, np.arange(6)) == []
+
+    def test_identical_branches_no_variants(self):
+        asm, _ = snv_bubble_assembly(n_snvs=0)
+        dag = dag_of(asm, [0] * 4)
+        assert find_bubble_variants(dag, np.arange(4)) == []
+
+    def test_too_divergent_bubble_discarded(self):
+        # branches of unrelated sequence: a repeat artifact, not alleles
+        rng = np.random.default_rng(14)
+        genome = random_genome(320, rng)
+        contigs = [genome[0:100], genome[60:200], random_genome(140, rng), genome[160:280]]
+        asm = make_assembly(contigs, [(0, 1, 60), (0, 2, 60), (1, 3, 100), (2, 3, 100)])
+        dag = dag_of(asm, [0] * 4)
+        variants = find_bubble_variants(dag, np.arange(4), max_variants_per_bubble=20)
+        assert variants == []
+
+    def test_bubble_reported_once(self):
+        asm, _ = snv_bubble_assembly(n_snvs=1)
+        dag = dag_of(asm, [0] * 4)
+        # anchors 0 and 3 both see the bubble, but within one worker's
+        # scan the branch pair is deduplicated
+        variants = find_bubble_variants(dag, np.array([0, 3]))
+        assert len(variants) == 1
+
+
+class TestDetectVariants:
+    def test_distributed_run_merges_and_dedupes(self):
+        asm, positions = snv_bubble_assembly(n_snvs=2)
+        dag = dag_of(asm, [0, 0, 1, 1])
+        results, stats = run_on_cluster(detect_variants, dag, 2)
+        assert results[0] == results[1]
+        snvs = [v for v in results[0] if v.kind == "snv"]
+        assert sorted(v.position for v in snvs) == sorted(positions.tolist())
+        assert stats.elapsed > 0
+
+    def test_sorted_output(self):
+        asm, _ = snv_bubble_assembly(n_snvs=3)
+        dag = dag_of(asm, [0] * 4)
+        results, _ = run_on_cluster(detect_variants, dag, 1)
+        calls = results[0]
+        keys = [(v.ref_node, v.alt_node, v.position) for v in calls]
+        assert keys == sorted(keys)
+
+    def test_variant_record_fields(self):
+        v = Variant(0, 1, 2, 10, "snv", "A", "C")
+        assert v.ref_allele == "A" and v.alt_allele == "C"

@@ -1,0 +1,27 @@
+"""Shared fixtures for graph tests: tiled-read datasets and their G0."""
+
+import numpy as np
+import pytest
+
+from repro.align.overlapper import OverlapConfig, OverlapDetector
+from repro.graph.overlap_graph import OverlapGraph
+from repro.io.readset import ReadSet
+from repro.sequence.dna import decode
+from repro.simulate.genome import random_genome
+
+
+def tiled_readset(genome_len=800, read_len=100, stride=40, seed=0, genome=None):
+    g = random_genome(genome_len, np.random.default_rng(seed)) if genome is None else genome
+    seqs = [decode(g[s : s + read_len]) for s in range(0, len(g) - read_len + 1, stride)]
+    return ReadSet.from_strings(seqs), g
+
+
+def graph_from_reads(reads, min_overlap=50):
+    det = OverlapDetector(OverlapConfig(min_overlap=min_overlap))
+    return OverlapGraph.from_overlaps(det.find_overlaps(reads), len(reads))
+
+
+@pytest.fixture
+def tiled():
+    reads, genome = tiled_readset()
+    return reads, genome, graph_from_reads(reads)

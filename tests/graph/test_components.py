@@ -1,0 +1,88 @@
+"""Tests for connected components and graph diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import (
+    component_sizes,
+    connected_components,
+    summarize_graph,
+)
+from repro.graph.overlap_graph import OverlapGraph
+
+
+def graph_of(n, edges):
+    if edges:
+        eu = np.array([a for a, _ in edges])
+        ev = np.array([b for _, b in edges])
+    else:
+        eu = ev = np.array([])
+    return OverlapGraph(n, eu, ev, np.ones(len(edges)))
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        g = graph_of(5, [(0, 1), (1, 2), (3, 4)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_isolated_nodes(self):
+        g = graph_of(4, [(0, 1)])
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 3
+
+    def test_empty_graph(self):
+        g = graph_of(0, [])
+        assert connected_components(g).size == 0
+
+    def test_single_component_ring(self):
+        g = graph_of(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert len(set(connected_components(g).tolist())) == 1
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=500))
+    def test_matches_networkx(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < 0.1]
+        g = graph_of(n, edges)
+        labels = connected_components(g)
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(edges)
+        expect = list(nx.connected_components(nxg))
+        assert len(set(labels.tolist())) == len(expect)
+        for comp in expect:
+            comp = list(comp)
+            assert len({labels[c] for c in comp}) == 1
+
+
+class TestSummary:
+    def test_component_sizes_sorted(self):
+        g = graph_of(6, [(0, 1), (1, 2), (3, 4)])
+        assert component_sizes(g).tolist() == [3, 2, 1]
+
+    def test_summary_fields(self):
+        g = graph_of(5, [(0, 1), (1, 2), (3, 4)])
+        s = summarize_graph(g)
+        assert s.n_nodes == 5
+        assert s.n_edges == 3
+        assert s.n_components == 2
+        assert s.largest_component == 3
+        assert s.n_isolated == 0
+        assert s.max_degree == 2
+        assert s.mean_degree == pytest.approx(6 / 5)
+
+    def test_summary_empty(self):
+        s = summarize_graph(graph_of(0, []))
+        assert s.n_nodes == 0 and s.mean_degree == 0.0
+
+    def test_report_string(self):
+        s = summarize_graph(graph_of(3, [(0, 1)]))
+        text = s.report()
+        assert "nodes 3" in text and "components 2" in text

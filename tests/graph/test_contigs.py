@@ -1,0 +1,134 @@
+"""Unit + integration tests for cluster layout and consensus."""
+
+import numpy as np
+import pytest
+
+from repro.graph.contigs import (
+    cluster_layout_offsets,
+    consensus_from_layout,
+    contig_for_nodes,
+    is_layout_contiguous,
+)
+from repro.graph.overlap_graph import OverlapGraph
+from repro.sequence.dna import decode
+from tests.graph.conftest import graph_from_reads, tiled_readset
+
+
+class TestClusterLayout:
+    def test_tiled_layout_recovers_positions(self, tiled):
+        reads, genome, g0 = tiled
+        nodes = np.arange(len(reads))
+        offsets = cluster_layout_offsets(g0, nodes)
+        assert offsets is not None
+        # True positions are 0, 40, 80, ...; offsets normalised to min 0.
+        assert offsets.tolist() == [40 * i for i in range(len(reads))]
+
+    def test_disconnected_returns_none(self, tiled):
+        reads, _, g0 = tiled
+        # first and last read do not overlap
+        assert cluster_layout_offsets(g0, np.array([0, len(reads) - 1])) is None
+
+    def test_singleton(self, tiled):
+        _, _, g0 = tiled
+        offsets = cluster_layout_offsets(g0, np.array([3]))
+        assert offsets.tolist() == [0]
+
+    def test_conflicting_deltas_return_none(self):
+        # triangle with inconsistent deltas: 0->1 +10, 1->2 +10, 0->2 +50
+        g = OverlapGraph(
+            3,
+            np.array([0, 1, 0]),
+            np.array([1, 2, 2]),
+            np.array([60.0, 60.0, 60.0]),
+            deltas=np.array([10, 10, 50]),
+        )
+        assert cluster_layout_offsets(g, np.array([0, 1, 2])) is None
+
+    def test_tolerance_allows_slack(self):
+        g = OverlapGraph(
+            3,
+            np.array([0, 1, 0]),
+            np.array([1, 2, 2]),
+            np.array([60.0, 60.0, 60.0]),
+            deltas=np.array([10, 10, 22]),
+        )
+        assert cluster_layout_offsets(g, np.array([0, 1, 2])) is None
+        assert cluster_layout_offsets(g, np.array([0, 1, 2]), tolerance=2) is not None
+
+    def test_requires_deltas(self):
+        g = OverlapGraph(2, np.array([0]), np.array([1]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            cluster_layout_offsets(g, np.array([0, 1]))
+
+    def test_empty_cluster_rejected(self, tiled):
+        _, _, g0 = tiled
+        with pytest.raises(ValueError):
+            cluster_layout_offsets(g0, np.array([], dtype=np.int64))
+
+
+class TestIsLayoutContiguous:
+    def test_contiguous(self):
+        assert is_layout_contiguous(np.array([0, 40, 80]), np.array([100, 100, 100]))
+
+    def test_gap(self):
+        assert not is_layout_contiguous(np.array([0, 200]), np.array([100, 100]))
+
+    def test_touching_counts(self):
+        assert is_layout_contiguous(np.array([0, 100]), np.array([100, 100]))
+
+    def test_unsorted_input(self):
+        assert is_layout_contiguous(np.array([80, 0, 40]), np.array([100, 100, 100]))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            is_layout_contiguous(np.array([0]), np.array([1, 2]))
+
+
+class TestConsensus:
+    def test_reconstructs_genome(self, tiled):
+        reads, genome, g0 = tiled
+        nodes = np.arange(len(reads))
+        segments = contig_for_nodes(reads, g0, nodes)
+        assert segments is not None
+        assert len(segments) == 1
+        # Tiles cover genome[0 : last_start + 100]
+        covered = genome[: 40 * (len(reads) - 1) + 100]
+        assert decode(segments[0]) == decode(covered)
+
+    def test_majority_vote_fixes_errors(self):
+        # Three identical reads stacked; one has an error at position 5.
+        from repro.io.readset import ReadSet
+
+        base = "ACGTACGTACGTACGTACGT"
+        noisy = base[:5] + ("A" if base[5] != "A" else "C") + base[6:]
+        reads = ReadSet.from_strings([base, base, noisy])
+        g = OverlapGraph(
+            3,
+            np.array([0, 1]),
+            np.array([1, 2]),
+            np.array([20.0, 20.0]),
+            deltas=np.array([0, 0]),
+        )
+        segs = contig_for_nodes(reads, g, np.array([0, 1, 2]))
+        assert decode(segs[0]) == base
+
+    def test_gap_splits_segments(self):
+        from repro.io.readset import ReadSet
+
+        reads = ReadSet.from_strings(["AAAA", "TTTT"])
+        segs = consensus_from_layout(reads, np.array([0, 1]), np.array([0, 10]))
+        assert len(segs) == 2
+        assert decode(segs[0]) == "AAAA"
+        assert decode(segs[1]) == "TTTT"
+
+    def test_empty_nodes(self):
+        from repro.io.readset import ReadSet
+
+        assert consensus_from_layout(ReadSet.from_strings([]), np.array([], dtype=int), np.array([], dtype=int)) == []
+
+    def test_layout_failure_propagates(self):
+        from repro.io.readset import ReadSet
+
+        reads = ReadSet.from_strings(["AAAA", "TTTT"])
+        g = OverlapGraph(2, np.array([]), np.array([]), np.array([]), deltas=np.array([], dtype=np.int64))
+        assert contig_for_nodes(reads, g, np.array([0, 1])) is None

@@ -1,0 +1,120 @@
+"""Unit + integration tests for the hybrid graph set."""
+
+import numpy as np
+import pytest
+
+from repro.graph.coarsen import CoarsenConfig, build_multilevel_set
+from repro.graph.hybrid import build_hybrid_set, is_contiguous_cluster
+from repro.graph.overlap_graph import OverlapGraph
+from tests.graph.conftest import graph_from_reads, tiled_readset
+
+
+@pytest.fixture
+def tiled_mls():
+    reads, genome = tiled_readset(genome_len=2000, stride=25, seed=1)
+    g0 = graph_from_reads(reads)
+    mls = build_multilevel_set(g0, CoarsenConfig(min_nodes=4, seed=1))
+    return reads, g0, mls
+
+
+class TestIsContiguousCluster:
+    def test_singleton_always(self):
+        g = OverlapGraph(1, np.array([]), np.array([]), np.array([]), deltas=np.array([], dtype=np.int64))
+        assert is_contiguous_cluster(g, np.array([0]), np.array([100]))
+
+    def test_linear_cluster(self, tiled_mls):
+        reads, g0, _ = tiled_mls
+        nodes = np.arange(5)
+        assert is_contiguous_cluster(g0, nodes, reads.lengths)
+
+    def test_disconnected_cluster(self, tiled_mls):
+        reads, g0, _ = tiled_mls
+        nodes = np.array([0, len(reads) - 1])
+        assert not is_contiguous_cluster(g0, nodes, reads.lengths)
+
+    def test_conflicting_cluster(self):
+        g = OverlapGraph(
+            3,
+            np.array([0, 1, 0]),
+            np.array([1, 2, 2]),
+            np.array([60.0, 60.0, 60.0]),
+            deltas=np.array([10, 10, 90]),
+        )
+        assert not is_contiguous_cluster(g, np.array([0, 1, 2]), np.array([100, 100, 100]))
+
+
+class TestBuildHybridSet:
+    def test_levels_match_multilevel(self, tiled_mls):
+        reads, g0, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        assert hyb.n_levels == mls.n_levels
+
+    def test_hybrid_no_bigger_than_g0(self, tiled_mls):
+        reads, g0, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        assert hyb.hybrid.n_nodes <= g0.n_nodes
+        # Linear data coarsens well: hybrid graph should be much smaller.
+        assert hyb.hybrid.n_nodes < g0.n_nodes / 2
+
+    def test_coarsest_hybrid_equals_coarsest_multilevel(self, tiled_mls):
+        reads, _, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        assert hyb.graphs[-1].n_nodes == mls.coarsest.n_nodes
+
+    def test_node_weight_conserved(self, tiled_mls):
+        reads, g0, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        for g in hyb.graphs:
+            assert g.total_node_weight == g0.total_node_weight
+
+    def test_base_maps_cover(self, tiled_mls):
+        reads, g0, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        for i, g in enumerate(hyb.graphs):
+            bm = hyb.base_maps[i]
+            assert bm.size == g0.n_nodes
+            assert set(bm.tolist()) == set(range(g.n_nodes))
+
+    def test_mappings_compose_with_base_maps(self, tiled_mls):
+        reads, _, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        for i in range(hyb.n_levels - 1):
+            assert (hyb.mappings[i][hyb.base_maps[i]] == hyb.base_maps[i + 1]).all()
+
+    def test_rep_levels_assigned(self, tiled_mls):
+        reads, _, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        assert (hyb.rep_level >= 0).all()
+        assert (hyb.rep_level <= mls.n_levels - 1).all()
+
+    def test_clusters_of_hybrid_partition_reads(self, tiled_mls):
+        reads, _, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        clusters = hyb.clusters_of_hybrid()
+        allnodes = np.concatenate([c for c in clusters if c.size])
+        assert sorted(allnodes.tolist()) == list(range(len(reads)))
+
+    def test_every_hybrid_cluster_is_contiguous(self, tiled_mls):
+        reads, g0, mls = tiled_mls
+        hyb = build_hybrid_set(mls, reads.lengths)
+        for cluster in hyb.clusters_of_hybrid():
+            assert is_contiguous_cluster(g0, cluster, reads.lengths)
+
+    def test_trivial_multilevel(self):
+        # a graph too small to coarsen: hybrid == multilevel == single level
+        g = OverlapGraph(
+            3,
+            np.array([0, 1]),
+            np.array([1, 2]),
+            np.array([60.0, 60.0]),
+            deltas=np.array([10, 10]),
+        )
+        mls = build_multilevel_set(g, CoarsenConfig(min_nodes=10, seed=0))
+        hyb = build_hybrid_set(mls, np.array([100, 100, 100]))
+        assert hyb.n_levels == 1
+        assert hyb.hybrid.n_nodes == 3
+
+    def test_wrong_lengths_rejected(self, tiled_mls):
+        reads, _, mls = tiled_mls
+        with pytest.raises(ValueError):
+            build_hybrid_set(mls, np.array([100]))

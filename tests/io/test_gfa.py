@@ -1,0 +1,71 @@
+"""Tests for GFA 1.0 export."""
+
+import io
+
+import numpy as np
+
+from repro.io.gfa import gfa_string, write_gfa
+from repro.sequence.dna import decode
+from tests.distributed.conftest import chain_assembly, dag_of
+
+
+def parse_gfa(text):
+    segments, links = {}, []
+    for line in text.strip().splitlines():
+        fields = line.split("\t")
+        if fields[0] == "S":
+            segments[fields[1]] = fields[2]
+        elif fields[0] == "L":
+            links.append((fields[1], fields[2], fields[3], fields[4], fields[5]))
+    return segments, links
+
+
+class TestGfaExport:
+    def test_header_present(self):
+        asm, _ = chain_assembly(n=3)
+        assert gfa_string(asm).startswith("H\tVN:Z:1.0\n")
+
+    def test_segments_carry_sequences(self):
+        asm, _ = chain_assembly(n=3)
+        segments, _ = parse_gfa(gfa_string(asm))
+        assert len(segments) == 3
+        assert segments["contig0"] == decode(asm.contigs[0])
+
+    def test_links_with_overlap_cigars(self):
+        asm, _ = chain_assembly(n=3)  # 120bp contigs, 60bp steps
+        _, links = parse_gfa(gfa_string(asm))
+        assert len(links) == 2
+        for src, s1, dst, s2, cigar in links:
+            assert (s1, s2) == ("+", "+")
+            assert cigar == "60M"
+
+    def test_link_direction_follows_delta(self):
+        asm, _ = chain_assembly(n=2)
+        _, links = parse_gfa(gfa_string(asm))
+        assert links[0][0] == "contig0" and links[0][2] == "contig1"
+
+    def test_sequences_omittable(self):
+        asm, _ = chain_assembly(n=2)
+        segments, _ = parse_gfa(gfa_string(asm, include_sequences=False))
+        assert all(seq == "*" for seq in segments.values())
+
+    def test_dag_export_respects_alive_masks(self):
+        asm, _ = chain_assembly(n=4)
+        dag = dag_of(asm, [0] * 4)
+        dag.remove_nodes([1])
+        segments, links = parse_gfa(gfa_string(dag))
+        assert set(segments) == {"contig0", "contig2", "contig3"}
+        assert len(links) == 1  # only 2-3 survives
+
+    def test_write_to_path_and_stream(self, tmp_path):
+        asm, _ = chain_assembly(n=2)
+        path = tmp_path / "graph.gfa"
+        write_gfa(asm, path)
+        buf = io.StringIO()
+        write_gfa(asm, buf)
+        assert path.read_text() == buf.getvalue()
+
+    def test_ln_tags(self):
+        asm, _ = chain_assembly(n=2)
+        text = gfa_string(asm)
+        assert "LN:i:120" in text

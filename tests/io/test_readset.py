@@ -1,0 +1,104 @@
+"""Unit + property tests for the columnar ReadSet container."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.records import Read
+from repro.io.readset import ReadSet
+
+seq_lists = st.lists(st.text(alphabet="ACGT", min_size=1, max_size=40), min_size=0, max_size=25)
+
+
+class TestConstruction:
+    def test_empty(self):
+        rs = ReadSet()
+        assert len(rs) == 0
+        assert rs.total_bases == 0
+
+    def test_from_strings(self):
+        rs = ReadSet.from_strings(["ACG", "TTTT"])
+        assert len(rs) == 2
+        assert rs.sequence_of(0) == "ACG"
+        assert rs.sequence_of(1) == "TTTT"
+        assert rs.total_bases == 7
+        assert rs.lengths.tolist() == [3, 4]
+
+    @given(seq_lists)
+    def test_roundtrip_property(self, seqs):
+        rs = ReadSet.from_strings(seqs)
+        assert [rs.sequence_of(i) for i in range(len(rs))] == seqs
+        assert rs.total_bases == sum(map(len, seqs))
+
+    def test_getitem_negative(self):
+        rs = ReadSet.from_strings(["ACG", "T"])
+        assert rs[-1].sequence == "T"
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            ReadSet.from_strings(["A"])[3]
+
+    def test_quals_preserved(self):
+        reads = [Read.from_string("a", "ACG", quals=np.array([1, 2, 3]))]
+        rs = ReadSet(reads)
+        assert rs.quals_of(0).tolist() == [1, 2, 3]
+
+    def test_no_quals_is_none(self):
+        rs = ReadSet.from_strings(["ACG"])
+        assert rs.quals_of(0) is None
+
+
+class TestPreprocessing:
+    def test_trimmed_drops_short(self):
+        reads = [
+            Read.from_string("good", "A" * 50, quals=np.full(50, 40)),
+            Read.from_string("bad", "A" * 50, quals=np.full(50, 2)),
+        ]
+        rs = ReadSet(reads).trimmed(min_quality=20, min_length=20)
+        assert len(rs) == 1
+        assert rs.ids == ["good"]
+
+    def test_with_reverse_complements(self):
+        rs = ReadSet.from_strings(["AACG", "TG"]).with_reverse_complements()
+        assert len(rs) == 4
+        assert rs.sequence_of(2) == "CGTT"
+        assert rs.sequence_of(3) == "CA"
+
+    def test_mate_of(self):
+        rs = ReadSet.from_strings(["AACG", "TG"]).with_reverse_complements()
+        assert rs.mate_of(0) == 2
+        assert rs.mate_of(3) == 1
+
+    def test_mate_of_requires_even(self):
+        with pytest.raises(ValueError):
+            ReadSet.from_strings(["A", "C", "G"]).mate_of(0)
+
+    @given(seq_lists)
+    def test_rc_involution_property(self, seqs):
+        rs = ReadSet.from_strings(seqs).with_reverse_complements()
+        for i in range(len(rs)):
+            j = rs.mate_of(i)
+            assert rs.mate_of(j) == i
+
+
+class TestSplit:
+    def test_split_covers_all(self):
+        rs = ReadSet.from_strings(["A"] * 10)
+        chunks = rs.split(3)
+        assert sorted(np.concatenate(chunks).tolist()) == list(range(10))
+
+    def test_split_more_subsets_than_reads(self):
+        rs = ReadSet.from_strings(["A", "C"])
+        chunks = rs.split(5)
+        assert len(chunks) == 5
+        assert sum(len(c) for c in chunks) == 2
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            ReadSet.from_strings(["A"]).split(0)
+
+    def test_subset(self):
+        rs = ReadSet.from_strings(["AA", "CC", "GG"])
+        sub = rs.subset(np.array([2, 0]))
+        assert [sub.sequence_of(i) for i in range(2)] == ["GG", "AA"]

@@ -1,0 +1,38 @@
+"""Unit tests for the Read record."""
+
+import numpy as np
+import pytest
+
+from repro.io.records import Read
+from repro.sequence.dna import encode
+
+
+class TestRead:
+    def test_from_string(self):
+        r = Read.from_string("r1", "ACGT")
+        assert r.sequence == "ACGT"
+        assert len(r) == 4
+
+    def test_quality_length_check(self):
+        with pytest.raises(ValueError, match="quality scores"):
+            Read("r1", encode("ACGT"), quals=np.array([40, 40]))
+
+    def test_meta_independent(self):
+        r = Read.from_string("r1", "ACGT", meta={"genus": "Bacteroides"})
+        assert r.meta["genus"] == "Bacteroides"
+
+    def test_reverse_complement(self):
+        r = Read.from_string("r1", "AACG", quals=np.array([10, 20, 30, 40]))
+        rc = r.reverse_complement()
+        assert rc.sequence == "CGTT"
+        assert rc.quals.tolist() == [40, 30, 20, 10]
+        assert rc.id == "r1/rc"
+        assert rc.meta["rc_of"] == "r1"
+
+    def test_reverse_complement_no_quals(self):
+        rc = Read.from_string("r1", "AACG").reverse_complement()
+        assert rc.quals is None
+
+    def test_codes_coerced_uint8(self):
+        r = Read("r1", [0, 1, 2, 3])
+        assert r.codes.dtype == np.uint8

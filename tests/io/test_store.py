@@ -1,0 +1,103 @@
+"""Tests for npz persistence of graphs and read sets."""
+
+import numpy as np
+import pytest
+
+from repro.graph.overlap_graph import OverlapGraph
+from repro.io.records import Read
+from repro.io.readset import ReadSet
+from repro.io.store import load_graph, load_readset, save_graph, save_readset
+
+
+def sample_graph():
+    return OverlapGraph(
+        4,
+        np.array([0, 1, 2]),
+        np.array([1, 2, 3]),
+        np.array([10.0, 20.0, 30.0]),
+        node_weights=np.array([1, 2, 1, 3]),
+        deltas=np.array([40, -15, 7]),
+        identities=np.array([0.9, 0.95, 1.0]),
+    )
+
+
+class TestGraphStore:
+    def test_roundtrip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.n_nodes == g.n_nodes
+        assert (g2.eu == g.eu).all() and (g2.ev == g.ev).all()
+        assert (g2.weights == g.weights).all()
+        assert (g2.deltas == g.deltas).all()
+        assert (g2.identities == g.identities).all()
+        assert (g2.node_weights == g.node_weights).all()
+        assert g2.has_deltas
+
+    def test_roundtrip_without_deltas(self, tmp_path):
+        g = OverlapGraph(2, np.array([0]), np.array([1]), np.array([1.0]))
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert not g2.has_deltas
+
+    def test_csr_rebuilt(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.neighbors(1).tolist() == g.neighbors(1).tolist()
+
+    def test_empty_graph(self, tmp_path):
+        g = OverlapGraph(3, np.array([]), np.array([]), np.array([]))
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        assert load_graph(path).n_edges == 0
+
+
+class TestReadSetStore:
+    def test_roundtrip_with_quals_and_meta(self, tmp_path):
+        reads = ReadSet(
+            [
+                Read.from_string("a", "ACGT", quals=np.array([10, 20, 30, 40]),
+                                 meta={"genus": "Prevotella", "position": 5}),
+                Read.from_string("b", "TT", quals=np.array([2, 2])),
+            ]
+        )
+        path = tmp_path / "r.npz"
+        save_readset(reads, path)
+        back = load_readset(path)
+        assert back.ids == ["a", "b"]
+        assert back.sequence_of(0) == "ACGT"
+        assert back.quals_of(0).tolist() == [10, 20, 30, 40]
+        assert back.meta[0]["genus"] == "Prevotella"
+        assert back.meta[0]["position"] == 5
+
+    def test_roundtrip_without_quals(self, tmp_path):
+        reads = ReadSet.from_strings(["ACG", "TTTT"])
+        path = tmp_path / "r.npz"
+        save_readset(reads, path)
+        back = load_readset(path)
+        assert back.quals is None
+        assert [back.sequence_of(i) for i in range(2)] == ["ACG", "TTTT"]
+
+    def test_empty_readset(self, tmp_path):
+        path = tmp_path / "r.npz"
+        save_readset(ReadSet.from_strings([]), path)
+        assert len(load_readset(path)) == 0
+
+    def test_pipeline_checkpoint(self, tmp_path):
+        # align once, save, reload, partition: same edge cut
+        from repro.align.overlapper import OverlapConfig, OverlapDetector
+        from tests.graph.conftest import tiled_readset
+
+        reads, _ = tiled_readset(genome_len=600)
+        overlaps = OverlapDetector(OverlapConfig(min_overlap=50)).find_overlaps(reads)
+        g = OverlapGraph.from_overlaps(overlaps, len(reads))
+        gp, rp = tmp_path / "g.npz", tmp_path / "r.npz"
+        save_graph(g, gp)
+        save_readset(reads, rp)
+        g2, r2 = load_graph(gp), load_readset(rp)
+        assert g2.n_edges == g.n_edges
+        assert r2.total_bases == reads.total_bases

@@ -1,0 +1,108 @@
+"""Tests for nonblocking operations and alltoall."""
+
+import time
+
+import pytest
+
+from repro.mpi.cluster import SimCluster
+from repro.mpi.timing import CommCostModel
+
+FAST = CommCostModel(alpha=1e-6, beta=1e-9)
+
+
+def cluster(n):
+    return SimCluster(n, cost_model=FAST, deadlock_timeout=20.0)
+
+
+class TestNonblocking:
+    def test_isend_irecv_roundtrip(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend({"a": 7}, dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        results, _ = cluster(2).run(fn)
+        assert results[1] == {"a": 7}
+
+    def test_irecv_posted_before_send(self):
+        def fn(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0)
+                # do other work before the message exists
+                comm.advance(0.01)
+                return req.wait()
+            time.sleep(0.02)
+            comm.send("late", dest=1)
+            return None
+
+        results, _ = cluster(2).run(fn)
+        assert results[1] == "late"
+
+    def test_request_test_reflects_arrival(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            for _ in range(200):
+                if req.test():
+                    break
+                time.sleep(0.005)
+            assert req.test()
+            return req.wait()
+
+        results, _ = cluster(2).run(fn)
+        assert results[1] == "x"
+
+    def test_wait_idempotent(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(5, dest=1)
+                return None
+            req = comm.irecv(source=0)
+            return (req.wait(), req.wait())
+
+        results, _ = cluster(2).run(fn)
+        assert results[1] == (5, 5)
+
+    def test_send_request_completes_immediately(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, dest=1)
+                assert req.test()
+                req.wait()
+            else:
+                comm.recv(source=0)
+
+        cluster(2).run(fn)
+
+
+class TestSendrecvAlltoall:
+    def test_sendrecv_ring(self):
+        def fn(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=nxt, source=prv)
+
+        results, _ = cluster(6).run(fn)
+        assert results == [(r - 1) % 6 for r in range(6)]
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 7])
+    def test_alltoall_transpose(self, size):
+        def fn(comm):
+            objs = [f"{comm.rank}->{dst}" for dst in range(comm.size)]
+            return comm.alltoall(objs)
+
+        results, _ = cluster(size).run(fn)
+        for dst in range(size):
+            assert results[dst] == [f"{src}->{dst}" for src in range(size)]
+
+    def test_alltoall_wrong_count(self):
+        def fn(comm):
+            comm.alltoall([1])
+
+        with pytest.raises(RuntimeError):
+            cluster(3).run(fn)

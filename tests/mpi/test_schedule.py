@@ -1,0 +1,90 @@
+"""Unit tests for the task-schedule replay (Fig. 4 machinery)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.schedule import lpt_makespan, partition_schedule_makespan, speedup_curve
+from repro.partition.recursive import TaskRecord
+
+
+class TestLptMakespan:
+    def test_single_processor_sums(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_processors(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 3) == 3.0
+
+    def test_two_processors(self):
+        # LPT: 3 -> p1, 2 -> p2, 1 -> p2 => makespan 3
+        assert lpt_makespan([1.0, 2.0, 3.0], 2) == 3.0
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lpt_makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            lpt_makespan([-1.0], 1)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_bounds_property(self, durations, p):
+        ms = lpt_makespan(durations, p)
+        total = sum(durations)
+        longest = max(durations) if durations else 0.0
+        assert ms >= max(longest, total / p) - 1e-9
+        assert ms <= total + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_monotone_in_processors(self, durations, p):
+        assert lpt_makespan(durations, p + 1) <= lpt_makespan(durations, p) + 1e-9
+
+
+def make_tasks():
+    # 3 bisection steps (1, 2, 4 tasks) + 4 kway levels
+    tasks = [TaskRecord("bisect", 0, 4.0)]
+    tasks += [TaskRecord("bisect", 1, 2.0)] * 2
+    tasks += [TaskRecord("bisect", 2, 1.0)] * 4
+    tasks += [TaskRecord("kway", lvl, 0.5) for lvl in range(4)]
+    return tasks
+
+
+class TestPartitionSchedule:
+    def test_serial_time_is_sum(self):
+        tasks = make_tasks()
+        assert partition_schedule_makespan(tasks, 1) == pytest.approx(4 + 4 + 4 + 2)
+
+    def test_steps_are_barriers(self):
+        tasks = make_tasks()
+        # p=4: step0=4, step1=2, step2=1, kway=0.5
+        assert partition_schedule_makespan(tasks, 4) == pytest.approx(4 + 2 + 1 + 0.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            partition_schedule_makespan([TaskRecord("mystery", 0, 1.0)], 2)
+
+    def test_speedup_curve_shape(self):
+        tasks = make_tasks()
+        curve = speedup_curve(tasks, [1, 2, 4, 8])
+        assert curve[0] == (1, pytest.approx(1.0))
+        speeds = [s for _, s in curve]
+        assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:]))
+        # Saturation: the serial step-0 task bounds speedup at 14/7.5.
+        assert speeds[-1] == pytest.approx(14 / 7.5)
+
+    def test_saturation_mirrors_paper(self):
+        # For k=16 parts the paper saturates around 2^(log2 k - 1) = 8 procs.
+        tasks = [TaskRecord("bisect", 0, 8.0)]
+        tasks += [TaskRecord("bisect", 1, 4.0)] * 2
+        tasks += [TaskRecord("bisect", 2, 2.0)] * 4
+        tasks += [TaskRecord("bisect", 3, 1.0)] * 8
+        curve = dict(speedup_curve(tasks, [1, 2, 4, 8, 16]))
+        assert curve[16] == pytest.approx(curve[8])  # no gain past 8
+        assert curve[8] > curve[4] > curve[2] > curve[1]

@@ -1,0 +1,37 @@
+"""Unit tests for the communication cost model."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.timing import CommCostModel, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_ndarray_fast_path(self):
+        a = np.zeros(1000, dtype=np.float64)
+        assert payload_nbytes(a) == 8000 + 96
+
+    def test_generic_object(self):
+        n = payload_nbytes({"a": 1, "b": [1, 2, 3]})
+        assert n > 10
+
+    def test_larger_object_larger_size(self):
+        assert payload_nbytes(list(range(1000))) > payload_nbytes([1])
+
+
+class TestCommCostModel:
+    def test_message_cost(self):
+        m = CommCostModel(alpha=1e-5, beta=1e-9)
+        assert m.message_cost(0) == pytest.approx(1e-5)
+        assert m.message_cost(10**9) == pytest.approx(1e-5 + 1.0)
+
+    def test_cost_of_object(self):
+        m = CommCostModel(alpha=0.0, beta=1.0)
+        a = np.zeros(10, dtype=np.uint8)
+        assert m.cost_of(a) == pytest.approx(10 + 96)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CommCostModel(alpha=-1)
+        with pytest.raises(ValueError):
+            CommCostModel().message_cost(-5)

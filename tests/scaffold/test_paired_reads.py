@@ -1,0 +1,79 @@
+"""Tests for paired-end read simulation."""
+
+import numpy as np
+import pytest
+
+from repro.scaffold.links import pair_indices
+from repro.sequence.dna import reverse_complement
+from repro.simulate.genome import Genome, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+@pytest.fixture
+def genome():
+    return Genome("g", random_genome(10_000, np.random.default_rng(5)))
+
+
+def simulate_pairs(genome, **kw):
+    cfg = ReadSimConfig(read_length=100, coverage=6, seed=5, flat_error_rate=0.0)
+    return ReadSimulator(cfg).simulate_paired(genome, **kw)
+
+
+class TestSimulatePaired:
+    def test_pair_count(self, genome):
+        reads = simulate_pairs(genome, n_pairs=50)
+        assert len(reads) == 100
+
+    def test_coverage_derived_count(self, genome):
+        reads = simulate_pairs(genome)
+        # coverage 6, 10kb genome, 2x100bp per pair -> 300 pairs
+        assert len(reads) == 600
+
+    def test_fr_orientation_ground_truth(self, genome):
+        reads = simulate_pairs(genome, n_pairs=30)
+        for i in range(0, len(reads), 2):
+            m1, m2 = reads.meta[i], reads.meta[i + 1]
+            assert m1["pair"] == m2["pair"]
+            assert (m1["mate"], m2["mate"]) == (1, 2)
+            start, flen = m1["fragment_start"], m1["fragment_length"]
+            fwd = genome.codes[start : start + 100]
+            rev = genome.codes[start + flen - 100 : start + flen]
+            assert (reads.codes_of(i) == fwd).all()
+            assert (reads.codes_of(i + 1) == reverse_complement(rev)).all()
+
+    def test_insert_size_distribution(self, genome):
+        reads = simulate_pairs(genome, insert_size=400, insert_sd=20, n_pairs=300)
+        lengths = [reads.meta[i]["fragment_length"] for i in range(0, len(reads), 2)]
+        assert np.mean(lengths) == pytest.approx(400, abs=10)
+        assert 5 < np.std(lengths) < 40
+
+    def test_ids_carry_mates(self, genome):
+        reads = simulate_pairs(genome, n_pairs=3)
+        assert reads.ids[0].endswith("/1")
+        assert reads.ids[1].endswith("/2")
+
+    def test_insert_too_small_rejected(self, genome):
+        with pytest.raises(ValueError, match="insert_size"):
+            simulate_pairs(genome, insert_size=50)
+
+    def test_genome_too_short_rejected(self):
+        tiny = Genome("t", random_genome(300, np.random.default_rng(1)))
+        with pytest.raises(ValueError, match="too short"):
+            simulate_pairs(tiny, insert_size=290)
+
+
+class TestPairIndices:
+    def test_matches_simulated_pairs(self, genome):
+        reads = simulate_pairs(genome, n_pairs=20)
+        pairs = pair_indices(reads)
+        assert len(pairs) == 20
+        for i1, i2 in pairs:
+            assert reads.meta[i1]["mate"] == 1
+            assert reads.meta[i2]["mate"] == 2
+            assert reads.meta[i1]["pair"] == reads.meta[i2]["pair"]
+
+    def test_unpaired_reads_ignored(self):
+        from repro.io.readset import ReadSet
+
+        rs = ReadSet.from_strings(["ACGT" * 30, "TTTT" * 30])
+        assert pair_indices(rs) == []

@@ -1,0 +1,158 @@
+"""Tests for link building and scaffolding."""
+
+import numpy as np
+import pytest
+
+from repro.scaffold.links import ContigLink, build_links, estimate_insert_size
+from repro.scaffold.scaffolder import Scaffold, ScaffoldConfig, Scaffolder
+from repro.sequence.dna import N, decode, reverse_complement
+from repro.simulate.genome import Genome, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A genome cut into 3 known contigs with 300bp gaps + mate pairs."""
+    genome = Genome("g", random_genome(12_000, np.random.default_rng(31)))
+    cuts = [(0, 3_500), (3_800, 7_300), (7_600, 11_800)]
+    contigs = [genome.codes[a:b].copy() for a, b in cuts]
+    sim = ReadSimulator(ReadSimConfig(read_length=100, coverage=10, seed=31, flat_error_rate=0.0))
+    reads = sim.simulate_paired(genome, insert_size=800, insert_sd=40)
+    return genome, cuts, contigs, reads
+
+
+class TestBuildLinks:
+    def test_adjacent_contigs_linked(self, world):
+        _, _, contigs, reads = world
+        links = build_links(reads, contigs, min_pairs=3)
+        keyed = {(l.a, l.b): l for l in links}
+        assert (0, 1) in keyed and (1, 2) in keyed
+        assert (0, 2) not in keyed  # 800bp insert cannot span 3800bp
+
+    def test_orientations_all_forward(self, world):
+        _, _, contigs, reads = world
+        links = build_links(reads, contigs, min_pairs=3)
+        for l in links:
+            assert (l.a_orient, l.b_orient) == ("+", "+")
+
+    def test_gap_estimates_close(self, world):
+        _, cuts, contigs, reads = world
+        links = build_links(reads, contigs, min_pairs=3)
+        keyed = {(l.a, l.b): l for l in links}
+        assert keyed[(0, 1)].gap == pytest.approx(300, abs=120)
+        assert keyed[(1, 2)].gap == pytest.approx(300, abs=120)
+
+    def test_reversed_contig_orientation_detected(self, world):
+        _, _, contigs, reads = world
+        flipped = [contigs[0], reverse_complement(contigs[1]), contigs[2]]
+        links = build_links(reads, flipped, min_pairs=3)
+        keyed = {(l.a, l.b): l for l in links}
+        assert keyed[(0, 1)].b_orient == "-"
+        assert keyed[(0, 1)].a_orient == "+"
+        assert keyed[(1, 2)].a_orient == "-"
+
+    def test_min_pairs_filters(self, world):
+        _, _, contigs, reads = world
+        links = build_links(reads, contigs, min_pairs=10_000)
+        assert links == []
+
+    def test_no_pairs_no_links(self, world):
+        from repro.io.readset import ReadSet
+
+        _, _, contigs, _ = world
+        assert build_links(ReadSet.from_strings(["ACGT" * 30]), contigs) == []
+
+    def test_canonical_involution(self):
+        link = ContigLink(a=5, a_orient="-", b=2, b_orient="+", n_pairs=4, gap=10.0)
+        canon = link.canonical()
+        assert canon.a == 2 and canon.b == 5
+        assert canon.a_orient == "-" and canon.b_orient == "+"
+        assert canon.canonical() == canon
+
+
+class TestEstimateInsertSize:
+    def test_recovers_simulated_insert(self, world):
+        _, _, contigs, reads = world
+        from repro.scaffold.links import pair_indices, place_reads
+
+        pairs = pair_indices(reads)
+        placements = place_reads(reads, contigs)
+        est = estimate_insert_size(placements, pairs, 100)
+        assert est == pytest.approx(800, abs=60)
+
+    def test_fallback_when_no_internal_pairs(self):
+        assert estimate_insert_size([], [], 100, fallback=321.0) == 321.0
+
+
+class TestScaffolder:
+    def test_recovers_order_and_gaps(self, world):
+        _, _, contigs, reads = world
+        scaffolds, links = Scaffolder().scaffold(reads, contigs)
+        assert len(scaffolds) == 1
+        sc = scaffolds[0]
+        assert [c for c, _ in sc.parts] == [0, 1, 2]
+        assert all(o == "+" for _, o in sc.parts)
+        assert all(150 <= g <= 450 for g in sc.gaps)
+
+    def test_recovers_reversed_contig(self, world):
+        _, _, contigs, reads = world
+        flipped = [contigs[0], reverse_complement(contigs[1]), contigs[2]]
+        scaffolds, _ = Scaffolder().scaffold(reads, flipped)
+        assert len(scaffolds) == 1
+        orients = dict(scaffolds[0].parts)
+        # scaffold read left-to-right or right-to-left: contig 1 must be
+        # flipped relative to its neighbours either way
+        assert orients[1] != orients[0]
+        assert orients[0] == orients[2]
+
+    def test_scaffold_sequence_matches_genome_shape(self, world):
+        genome, cuts, contigs, reads = world
+        scaffolds, _ = Scaffolder().scaffold(reads, contigs)
+        seq = scaffolds[0].sequence(contigs)
+        total_contig = sum(c.size for c in contigs)
+        assert seq.size > total_contig  # gaps inserted
+        assert (seq == N).sum() == sum(scaffolds[0].gaps)
+        # contig bodies appear verbatim
+        assert decode(contigs[0]) in decode(seq).replace("N", "n").upper()
+
+    def test_unlinked_contigs_become_singletons(self, world):
+        _, _, contigs, reads = world
+        alien = random_genome(2_000, np.random.default_rng(77))
+        scaffolds, _ = Scaffolder().scaffold(reads, contigs + [alien])
+        sizes = sorted(s.n_contigs for s in scaffolds)
+        assert sizes == [1, 3]
+
+    def test_empty_contigs(self, world):
+        _, _, _, reads = world
+        scaffolds, links = Scaffolder().scaffold(reads, [])
+        assert scaffolds == [] and links == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScaffoldConfig(min_pairs=0)
+        with pytest.raises(ValueError):
+            ScaffoldConfig(min_gap=0)
+
+    def test_scaffold_record_validation(self):
+        with pytest.raises(ValueError):
+            Scaffold(parts=[(0, "+"), (1, "+")], gaps=[])
+
+    def test_end_to_end_with_focus_assembly(self):
+        # sparse single-end coverage fragments the assembly; paired
+        # reads then stitch the contigs into scaffolds
+        from repro import AssemblyConfig, FocusAssembler
+        from repro.mpi.timing import CommCostModel
+
+        genome = Genome("g", random_genome(8_000, np.random.default_rng(41)))
+        sim = ReadSimulator(ReadSimConfig(read_length=100, coverage=10, seed=41))
+        reads = sim.simulate_genome(genome)
+        result = FocusAssembler(
+            AssemblyConfig(n_partitions=2), cost_model=CommCostModel(alpha=1e-6)
+        ).assemble(reads)
+        pairs = ReadSimulator(
+            ReadSimConfig(read_length=100, coverage=6, seed=42, flat_error_rate=0.0)
+        ).simulate_paired(genome, insert_size=900, insert_sd=50)
+        scaffolds, _ = Scaffolder().scaffold(pairs, result.contigs)
+        assert sum(s.n_contigs for s in scaffolds) == len(result.contigs)
+        # scaffolding should not *increase* the number of sequences
+        assert len(scaffolds) <= len(result.contigs)

@@ -1,0 +1,113 @@
+"""Unit + property tests for k-mer packing and extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequence import dna, kmers
+
+dna_strings = st.text(alphabet="ACGT", min_size=1, max_size=120)
+
+
+class TestPackUnpack:
+    def test_pack_simple(self):
+        # "AC" = 0*4 + 1
+        assert kmers.pack_kmer(dna.encode("AC")) == 1
+
+    def test_pack_t_run(self):
+        assert kmers.pack_kmer(dna.encode("TT")) == 15
+
+    def test_pack_rejects_n(self):
+        with pytest.raises(ValueError, match="containing N"):
+            kmers.pack_kmer(dna.encode("AN"))
+
+    def test_pack_rejects_too_long(self):
+        with pytest.raises(ValueError):
+            kmers.pack_kmer(np.zeros(40, dtype=np.uint8))
+
+    @given(dna_strings.filter(lambda s: len(s) <= 31))
+    def test_roundtrip(self, s):
+        codes = dna.encode(s)
+        assert dna.decode(kmers.unpack_kmer(kmers.pack_kmer(codes), len(s))) == s
+
+    def test_max_k(self):
+        assert kmers.max_k_for_dtype(np.int64) == 31
+        assert kmers.max_k_for_dtype(np.int32) == 15
+
+
+class TestRevcompKmerCode:
+    @given(dna_strings.filter(lambda s: len(s) <= 31))
+    def test_matches_sequence_revcomp(self, s):
+        codes = dna.encode(s)
+        k = len(s)
+        expect = kmers.pack_kmer(dna.reverse_complement(codes))
+        assert kmers.revcomp_kmer_code(kmers.pack_kmer(codes), k) == expect
+
+    def test_vectorised(self):
+        vals = np.array([kmers.pack_kmer(dna.encode("ACG")), kmers.pack_kmer(dna.encode("TTT"))])
+        rc = kmers.revcomp_kmer_code(vals, 3)
+        assert rc.tolist() == [
+            kmers.pack_kmer(dna.encode("CGT")),
+            kmers.pack_kmer(dna.encode("AAA")),
+        ]
+
+    @given(dna_strings.filter(lambda s: len(s) <= 31))
+    def test_involution(self, s):
+        k = len(s)
+        v = kmers.pack_kmer(dna.encode(s))
+        assert kmers.revcomp_kmer_code(kmers.revcomp_kmer_code(v, k), k) == v
+
+
+class TestKmerCodes:
+    def test_window_count(self):
+        vals = kmers.kmer_codes(dna.encode("ACGTAC"), 3)
+        assert vals.size == 4
+
+    def test_short_sequence_empty(self):
+        assert kmers.kmer_codes(dna.encode("AC"), 3).size == 0
+
+    def test_values_match_pack(self):
+        codes = dna.encode("ACGTACGT")
+        vals = kmers.kmer_codes(codes, 4)
+        for i in range(len(vals)):
+            assert vals[i] == kmers.pack_kmer(codes[i : i + 4])
+
+    def test_n_window_is_minus_one(self):
+        vals = kmers.kmer_codes(dna.encode("ANGT"), 2)
+        assert vals.tolist()[0] == -1 or vals[0] >= 0  # first window AN invalid
+        assert (vals == -1).sum() == 2  # AN and NG
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmers.kmer_codes(dna.encode("ACGT"), 0)
+
+    @given(dna_strings, st.integers(min_value=1, max_value=12))
+    def test_count_property(self, s, k):
+        vals = kmers.kmer_codes(dna.encode(s), k)
+        assert vals.size == max(0, len(s) - k + 1)
+
+
+class TestKmerPositions:
+    def test_skips_n(self):
+        pos, vals = kmers.kmer_positions(dna.encode("ACNGT"), 2)
+        assert pos.tolist() == [0, 3]
+        assert (vals >= 0).all()
+
+
+class TestCanonical:
+    def test_canonical_le_both(self):
+        codes = dna.encode("ACGTAGCTT")
+        k = 4
+        canon = kmers.canonical_kmer_codes(codes, k)
+        plain = kmers.kmer_codes(codes, k)
+        rc = kmers.revcomp_kmer_code(plain, k)
+        assert (canon == np.minimum(plain, rc)).all()
+
+    @given(dna_strings, st.integers(min_value=1, max_value=9))
+    def test_strand_invariance(self, s, k):
+        if len(s) < k:
+            return
+        fwd = kmers.canonical_kmer_codes(dna.encode(s), k)
+        rev = kmers.canonical_kmer_codes(dna.reverse_complement(dna.encode(s)), k)
+        assert sorted(fwd.tolist()) == sorted(rev.tolist())

@@ -1,0 +1,91 @@
+"""Unit tests for community construction."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.community import Community, CommunityConfig, build_community
+from repro.simulate.genome import Genome
+from repro.simulate.taxonomy import GUT_GENERA, Taxon
+
+
+def small_config(**kw):
+    base = dict(shared_length=2000, private_length=1000, repeat_copies=0, seed=1)
+    base.update(kw)
+    return CommunityConfig(**base)
+
+
+class TestCommunityConfig:
+    def test_defaults_valid(self):
+        CommunityConfig()
+
+    def test_empty_genomes_rejected(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(shared_length=0, private_length=0)
+
+    def test_no_taxa_rejected(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(taxa=())
+
+
+class TestBuildCommunity:
+    def test_one_genome_per_taxon(self):
+        com = build_community(small_config())
+        assert len(com.genomes) == len(GUT_GENERA)
+        assert set(com.genera) == {t.genus for t in GUT_GENERA}
+
+    def test_abundances_normalised(self):
+        com = build_community(small_config())
+        assert com.abundances.sum() == pytest.approx(1.0)
+        assert (com.abundances > 0).all()
+
+    def test_deterministic(self):
+        c1, c2 = build_community(small_config()), build_community(small_config())
+        assert (c1.genomes[0].codes == c2.genomes[0].codes).all()
+        assert (c1.abundances == c2.abundances).all()
+
+    def test_seed_override(self):
+        c1 = build_community(small_config(), seed=10)
+        c2 = build_community(small_config(), seed=11)
+        assert not (c1.genomes[0].codes == c2.genomes[0].codes).all()
+
+    def test_same_phylum_genomes_similar(self):
+        com = build_community(small_config())
+        cfg = com.config
+        ros = com.genome_by_genus("Roseburia").codes[: cfg.shared_length]
+        clo = com.genome_by_genus("Clostridium").codes[: cfg.shared_length]
+        esc = com.genome_by_genus("Escherichia").codes[: cfg.shared_length]
+        same = np.mean(ros == clo)
+        diff = np.mean(ros == esc)
+        assert same > 0.9          # ~2% divergence each from ancestor
+        assert diff < 0.5          # unrelated -> ~25% identity by chance
+
+    def test_repeats_lengthen_genomes(self):
+        plain = build_community(small_config())
+        reps = build_community(small_config(repeat_copies=3, repeat_length=200))
+        assert len(reps.genomes[0]) == len(plain.genomes[0]) + 600
+
+    def test_genome_by_genus_missing(self):
+        com = build_community(small_config())
+        with pytest.raises(KeyError):
+            com.genome_by_genus("Vibrio")
+
+    def test_reference_database(self):
+        com = build_community(small_config())
+        db = com.reference_database()
+        assert len(db) == len(com.genomes)
+
+    def test_phylum_of_map(self):
+        com = build_community(small_config())
+        assert com.phylum_of["Bacteroides"] == "Bacteroidetes"
+
+
+class TestCommunityValidation:
+    def test_mismatched_abundances(self):
+        g = [Genome("g", np.zeros(10, dtype=np.uint8), {"genus": "x", "phylum": "y"})]
+        with pytest.raises(ValueError, match="one abundance per genome"):
+            Community(CommunityConfig(taxa=(Taxon("x", "y"),)), g, np.array([0.5, 0.5]))
+
+    def test_unnormalised_abundances(self):
+        g = [Genome("g", np.zeros(10, dtype=np.uint8), {"genus": "x", "phylum": "y"})]
+        with pytest.raises(ValueError, match="sum to 1"):
+            Community(CommunityConfig(taxa=(Taxon("x", "y"),)), g, np.array([0.7]))

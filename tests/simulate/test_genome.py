@@ -1,0 +1,116 @@
+"""Unit + property tests for genome generation, mutation, repeats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.dna import gc_content
+from repro.simulate.genome import Genome, insert_repeats, mutate, random_genome
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRandomGenome:
+    def test_length(self):
+        assert random_genome(1000, rng()).size == 1000
+
+    def test_zero_length(self):
+        assert random_genome(0, rng()).size == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            random_genome(-1, rng())
+
+    def test_gc_bounds(self):
+        with pytest.raises(ValueError):
+            random_genome(10, rng(), gc=1.5)
+
+    def test_gc_targeting(self):
+        g = random_genome(50_000, rng(), gc=0.7)
+        assert gc_content(g) == pytest.approx(0.7, abs=0.02)
+
+    def test_deterministic(self):
+        assert (random_genome(100, rng(7)) == random_genome(100, rng(7))).all()
+
+    def test_all_codes_valid(self):
+        g = random_genome(5000, rng())
+        assert g.max() <= 3
+
+
+class TestMutate:
+    def test_zero_rate_identity(self):
+        g = random_genome(1000, rng())
+        assert (mutate(g, 0.0, rng()) == g).all()
+
+    def test_rate_one_changes_everything(self):
+        g = random_genome(1000, rng())
+        m = mutate(g, 1.0, rng())
+        assert (m != g).all()
+
+    def test_rate_targeting(self):
+        g = random_genome(100_000, rng())
+        m = mutate(g, 0.05, rng(1))
+        frac = np.mean(m != g)
+        assert frac == pytest.approx(0.05, abs=0.01)
+
+    def test_does_not_modify_input(self):
+        g = random_genome(100, rng())
+        snapshot = g.copy()
+        mutate(g, 0.5, rng())
+        assert (g == snapshot).all()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            mutate(random_genome(10, rng()), 1.5, rng())
+
+    def test_empty(self):
+        assert mutate(np.array([], dtype=np.uint8), 0.3, rng()).size == 0
+
+    @settings(max_examples=20)
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=2**31))
+    def test_codes_stay_valid(self, rate, seed):
+        g = random_genome(200, rng(seed))
+        m = mutate(g, rate, rng(seed + 1))
+        assert m.max(initial=0) <= 3
+
+
+class TestInsertRepeats:
+    def test_length_grows(self):
+        g = random_genome(1000, rng())
+        out = insert_repeats(g, 100, 3, rng())
+        assert out.size == 1000 + 300
+
+    def test_zero_copies_identity(self):
+        g = random_genome(100, rng())
+        assert (insert_repeats(g, 50, 0, rng()) == g).all()
+
+    def test_repeat_element_repeated(self):
+        g = random_genome(2000, rng(3))
+        out = insert_repeats(g, 150, 2, rng(3), divergence=0.0)
+        # Perfect copies: some 150-mer occurs at least twice.
+        from repro.sequence.kmers import kmer_codes
+
+        vals = kmer_codes(out, 25)
+        _, counts = np.unique(vals, return_counts=True)
+        assert counts.max() >= 2
+
+    def test_invalid_params(self):
+        g = random_genome(10, rng())
+        with pytest.raises(ValueError):
+            insert_repeats(g, 0, 1, rng())
+        with pytest.raises(ValueError):
+            insert_repeats(g, 10, -1, rng())
+
+
+class TestGenomeRecord:
+    def test_sequence_property(self):
+        g = Genome("g", np.array([0, 1, 2, 3], dtype=np.uint8))
+        assert g.sequence == "ACGT"
+        assert len(g) == 4
+
+    def test_meta(self):
+        g = Genome("g", np.array([0]), meta={"genus": "Prevotella"})
+        assert g.meta["genus"] == "Prevotella"

@@ -1,0 +1,139 @@
+"""Unit tests for the Illumina-like read simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sequence.dna import reverse_complement
+from repro.simulate.community import CommunityConfig, build_community
+from repro.simulate.genome import Genome, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+
+def make_genome(length=5000, seed=0, **meta):
+    return Genome("g0", random_genome(length, np.random.default_rng(seed)), meta=meta)
+
+
+class TestReadSimConfig:
+    def test_defaults(self):
+        ReadSimConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(read_length=0),
+            dict(coverage=0),
+            dict(tail_quality=50, base_quality=40),
+            dict(flat_error_rate=2.0),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            ReadSimConfig(**kw)
+
+
+class TestSimulateGenome:
+    def test_read_count_matches_coverage(self):
+        sim = ReadSimulator(ReadSimConfig(read_length=100, coverage=10, seed=0))
+        rs = sim.simulate_genome(make_genome(10_000))
+        assert len(rs) == 1000
+
+    def test_read_length(self):
+        sim = ReadSimulator(ReadSimConfig(read_length=80, coverage=2, seed=0))
+        rs = sim.simulate_genome(make_genome())
+        assert (rs.lengths == 80).all()
+
+    def test_short_genome_raises(self):
+        sim = ReadSimulator(ReadSimConfig(read_length=100, coverage=2))
+        with pytest.raises(ValueError, match="shorter than read length"):
+            sim.simulate_genome(make_genome(50))
+
+    def test_error_free_reads_match_genome(self):
+        g = make_genome()
+        sim = ReadSimulator(ReadSimConfig(coverage=3, flat_error_rate=0.0, seed=1))
+        rs = sim.simulate_genome(g)
+        for i in range(min(20, len(rs))):
+            meta = rs.meta[i]
+            pos = meta["position"]
+            frag = g.codes[pos : pos + rs.length_of(i)]
+            obs = rs.codes_of(i)
+            if meta["strand"] == "-":
+                obs = reverse_complement(obs)
+            assert (obs == frag).all()
+
+    def test_flat_error_rate(self):
+        g = make_genome(20_000)
+        sim = ReadSimulator(ReadSimConfig(coverage=5, flat_error_rate=0.05, seed=2))
+        rs = sim.simulate_genome(g)
+        mismatches = 0
+        total = 0
+        for i in range(len(rs)):
+            meta = rs.meta[i]
+            frag = g.codes[meta["position"] : meta["position"] + rs.length_of(i)]
+            obs = rs.codes_of(i)
+            if meta["strand"] == "-":
+                obs = reverse_complement(obs)
+            mismatches += int((obs != frag).sum())
+            total += obs.size
+        assert mismatches / total == pytest.approx(0.05, abs=0.01)
+
+    def test_quality_profile_decays(self):
+        sim = ReadSimulator(ReadSimConfig(read_length=100, base_quality=38, tail_quality=10))
+        profile = sim._quality_profile()
+        assert profile[0] == 38
+        assert profile[-1] == 10
+        assert (np.diff(profile) <= 0).all()
+
+    def test_qualities_attached(self):
+        sim = ReadSimulator(ReadSimConfig(coverage=1, seed=0))
+        rs = sim.simulate_genome(make_genome())
+        assert rs.quals is not None
+        q = rs.quals_of(0)
+        assert q.min() >= 2 and q.max() <= 41
+
+    def test_meta_ground_truth(self):
+        g = make_genome(genus="Prevotella", phylum="Bacteroidetes")
+        sim = ReadSimulator(ReadSimConfig(coverage=1, seed=0))
+        rs = sim.simulate_genome(g)
+        assert rs.meta[0]["genus"] == "Prevotella"
+        assert rs.meta[0]["strand"] in "+-"
+        assert 0 <= rs.meta[0]["position"] <= len(g) - 100
+
+    def test_deterministic(self):
+        sim = ReadSimulator(ReadSimConfig(coverage=2, seed=5))
+        a = sim.simulate_genome(make_genome())
+        b = sim.simulate_genome(make_genome())
+        assert (a.data == b.data).all()
+
+    def test_strands_mixed(self):
+        sim = ReadSimulator(ReadSimConfig(coverage=5, seed=0))
+        rs = sim.simulate_genome(make_genome())
+        strands = {m["strand"] for m in rs.meta}
+        assert strands == {"+", "-"}
+
+
+class TestSimulateCommunity:
+    def test_total_reads_near_coverage(self):
+        com = build_community(CommunityConfig(shared_length=2000, private_length=1000, repeat_copies=0, seed=3))
+        sim = ReadSimulator(ReadSimConfig(read_length=100, coverage=5, seed=3))
+        rs = sim.simulate_community(com)
+        expected = 5 * com.total_genome_bases / 100
+        assert len(rs) == pytest.approx(expected, rel=0.02)
+
+    def test_abundance_skew_respected(self):
+        com = build_community(
+            CommunityConfig(shared_length=2000, private_length=1000, repeat_copies=0,
+                            abundance_concentration=0.5, seed=4)
+        )
+        sim = ReadSimulator(ReadSimConfig(coverage=8, seed=4))
+        rs = sim.simulate_community(com)
+        counts = {}
+        for m in rs.meta:
+            counts[m["genus"]] = counts.get(m["genus"], 0) + 1
+        # Strongly skewed Dirichlet => spread between most and least sampled genus.
+        assert max(counts.values()) > 3 * max(1, min(counts.values()))
+
+    def test_all_reads_labelled(self):
+        com = build_community(CommunityConfig(shared_length=1500, private_length=500, repeat_copies=0, seed=5))
+        sim = ReadSimulator(ReadSimConfig(coverage=2, seed=5))
+        rs = sim.simulate_community(com)
+        assert all("genus" in m and "phylum" in m for m in rs.meta)
