@@ -73,6 +73,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="print N50/max/count for a contig FASTA")
     p.add_argument("contigs")
 
+    p = sub.add_parser(
+        "lint",
+        help="static MPI-correctness checks for the simulated cluster",
+        description=(
+            "AST checks for the simulated-MPI programming model: "
+            "MPI001 collective-symmetry, MPI002 reserved-tag, "
+            "MPI003 mutate-after-send, DET001 unseeded-rng, "
+            "PERF001 untimed-compute.  Suppress per line with "
+            "`# noqa: RULEID`."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings too, not just errors",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+
     return parser
 
 
@@ -169,15 +196,35 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import all_rules, run as lint_run
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.summary}")
+        return 0
+    return lint_run(args.paths, fmt=args.format, strict=args.strict)
+
+
 _COMMANDS = {
     "simulate-genome": _cmd_simulate_genome,
     "simulate-reads": _cmd_simulate_reads,
     "simulate-community": _cmd_simulate_community,
     "assemble": _cmd_assemble,
     "stats": _cmd_stats,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (`lint | head`).
+        # Point stdout at devnull so the interpreter's exit flush does not
+        # raise again, and exit with the conventional SIGPIPE status.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141

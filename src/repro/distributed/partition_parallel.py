@@ -58,19 +58,20 @@ def _rank_fn(
             local_results.append((gi, half))
         # Everyone learns every group's bisection (the step barrier).
         all_results = comm.allgather(local_results)
-        halves: dict[int, np.ndarray] = {}
-        for part in all_results:
-            for gi, half in part:
-                halves[gi] = half
-        next_frontier: list[np.ndarray] = []
-        for gi, group in enumerate(frontier):
-            half = halves[gi]
-            left = group[half == 0]
-            right = group[half == 1]
-            labels[right] = labels[right] * 2 + 1
-            labels[left] = labels[left] * 2
-            next_frontier.extend([left, right])
-        frontier = next_frontier
+        with comm.timed():
+            halves: dict[int, np.ndarray] = {}
+            for part in all_results:
+                for gi, half in part:
+                    halves[gi] = half
+            next_frontier: list[np.ndarray] = []
+            for gi, group in enumerate(frontier):
+                half = halves[gi]
+                left = group[half == 0]
+                right = group[half == 1]
+                labels[right] = labels[right] * 2 + 1
+                labels[left] = labels[left] * 2
+                next_frontier.extend([left, right])
+            frontier = next_frontier
 
     if config.run_kway and k > 1:
         per_level = _project_labels_up(graphs, mappings, labels, k)
@@ -89,10 +90,11 @@ def _rank_fn(
                 )
             local_refined.append((level, refined))
         all_refined = comm.allgather(local_refined)
-        for part in all_refined:
-            for level, refined in part:
-                if level == 0:
-                    labels = refined
+        with comm.timed():
+            for part in all_refined:
+                for level, refined in part:
+                    if level == 0:
+                        labels = refined
     comm.barrier()
     return labels
 

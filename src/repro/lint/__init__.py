@@ -1,0 +1,61 @@
+"""`repro lint`: a static analyzer for the simulated-MPI programming model.
+
+The distributed algorithms in this reproduction (recursive bisection,
+per-partition trimming, master-merge traversal) run as SPMD rank
+functions on :class:`~repro.mpi.SimCluster`.  The classic SPMD bug
+classes — collectives under rank-dependent branches, payloads mutated
+after an eager send, hidden-global RNG, compute outside the virtual
+clock — survive the test suite because they corrupt *timing* and
+*determinism* rather than values.  This package catches them at the
+AST level:
+
+========  ========  =====================================================
+rule      severity  checks
+========  ========  =====================================================
+MPI001    error     collective calls under ``comm.rank``-dependent branches
+MPI002    error     literal message tags in the reserved space (<= -1000)
+MPI003    error     payload names mutated after an eager ``send``/``isend``
+DET001    warning   ``random.*`` / ``np.random.*`` global-state calls
+PERF001   warning   compute loops in rank functions outside ``comm.timed()``
+========  ========  =====================================================
+
+Run it as ``python -m repro lint [paths] [--format text|json]
+[--strict]``, or from code via :func:`lint_paths` / :func:`lint_source`.
+Suppress a finding with a trailing ``# noqa: RULEID`` comment.
+
+The static pass pairs with a *runtime* sanitizer:
+``SimCluster(..., sanitize=True)`` fingerprints every payload at send
+and re-verifies it at receive (raising
+:class:`~repro.mpi.simcomm.PayloadMutationError` on a mutate-after-send
+race) and reports unconsumed mailbox messages at shutdown as
+:class:`~repro.mpi.simcomm.MessageLeakError`.
+"""
+
+from repro.lint.context import FileContext
+from repro.lint.driver import (
+    format_findings,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    run,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, register, select_rules
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Severity",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "select_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "format_findings",
+    "run",
+]

@@ -1,0 +1,122 @@
+"""File and directory drivers, output formatting, exit codes.
+
+`lint_source` / `lint_file` run every registered rule over one unit of
+source and apply ``# noqa`` suppressions; `lint_paths` walks files and
+directories; `run` is the CLI entry point used by ``python -m repro
+lint``.
+
+Exit codes: 0 clean, 1 findings at or above the failing severity
+(errors by default, everything under ``--strict``), 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files", "run"]
+
+#: directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint one source string; returns sorted, suppression-filtered findings."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        ctx = FileContext.from_source(source, path=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="E999",
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    findings = [
+        f
+        for rule in rules
+        for f in rule.check(ctx)
+        if not ctx.suppressed(f.line, f.rule)
+    ]
+    return sorted(findings)
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), path=str(p), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(
+                f
+                for f in p.rglob("*.py")
+                if not (set(f.parts) & _SKIP_DIRS)
+            )
+        elif p.suffix == ".py":
+            out.add(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint every python file under ``paths`` (files or directories)."""
+    if rules is None:
+        rules = all_rules()
+    findings: list[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f, rules=rules))
+    return sorted(findings)
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    if fmt == "json":
+        return json.dumps([f.to_dict() for f in findings], indent=2)
+    return "\n".join(f.format_text() for f in findings)
+
+
+def run(
+    paths: Sequence[str],
+    fmt: str = "text",
+    strict: bool = False,
+    stream=None,
+) -> int:
+    """CLI driver; prints findings and returns the process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    try:
+        findings = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if findings or fmt == "json":
+        print(format_findings(findings, fmt=fmt), file=stream)
+    floor = Severity.WARNING if strict else Severity.ERROR
+    failing = sum(1 for f in findings if f.severity >= floor)
+    if findings and fmt == "text":
+        errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
+        print(
+            f"{len(findings)} finding(s): {errors} error(s), "
+            f"{len(findings) - errors} warning(s)",
+            file=stream,
+        )
+    return 1 if failing else 0

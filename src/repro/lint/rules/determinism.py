@@ -1,0 +1,72 @@
+"""DET001: unseeded module-level RNG calls.
+
+Every figure in the reproduction is regenerated from seeds; a single
+``random.random()`` or ``np.random.shuffle()`` draws from hidden global
+state and makes runs non-reproducible (and, inside rank functions,
+thread-schedule-dependent).  The project convention is an explicit
+seeded generator: ``np.random.default_rng(seed)`` or
+``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["UnseededRng"]
+
+#: attributes of ``random`` / ``np.random`` that are themselves seeded
+#: constructors or stateless types, not global-state draws.
+_ALLOWED_TAILS = frozenset(
+    {"Random", "SystemRandom", "default_rng", "Generator", "SeedSequence",
+     "PCG64", "Philox", "SFC64", "MT19937", "BitGenerator", "RandomState"}
+)
+
+_NUMPY_PREFIXES = ("np.random.", "numpy.random.")
+
+
+@register
+class UnseededRng(Rule):
+    id = "DET001"
+    severity = Severity.WARNING
+    summary = "module-level RNG call instead of a seeded Generator"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        plain_random_imported = any(
+            isinstance(node, ast.Import)
+            and any(a.name == "random" and a.asname is None for a in node.names)
+            for node in ast.walk(ctx.tree)
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            offender = self._offending_call(name, plain_random_imported)
+            if offender is None:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"`{offender}` draws from hidden global RNG state, breaking "
+                "run-to-run reproducibility; use a seeded "
+                "`np.random.default_rng(seed)` / `random.Random(seed)` instead",
+            )
+
+    @staticmethod
+    def _offending_call(name: str, plain_random_imported: bool) -> str | None:
+        for prefix in _NUMPY_PREFIXES:
+            if name.startswith(prefix):
+                tail = name[len(prefix):].split(".", 1)[0]
+                if tail not in _ALLOWED_TAILS:
+                    return name
+        if plain_random_imported and name.startswith("random."):
+            tail = name.split(".", 2)[1]
+            if tail not in _ALLOWED_TAILS:
+                return name
+        return None

@@ -1,0 +1,203 @@
+"""MPI-correctness rules for the simulated-cluster programming model.
+
+- **MPI001** collective-symmetry: a collective reachable only under a
+  rank-dependent conditional deadlocks the other ranks of the
+  communicator (they never enter the matching tree exchange).
+- **MPI002** reserved-tag: literal tags at or below -1000 collide with
+  the internal collective tag space of :class:`~repro.mpi.SimComm`.
+- **MPI003** mutate-after-send: sends are *eager* — the payload object
+  reference crosses rank threads immediately, so mutating it after the
+  send races with the receiver (and with the sanitizer's fingerprint).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import (
+    COLLECTIVE_METHODS,
+    P2P_TAG_POSITION,
+    FileContext,
+    comm_param_name,
+    is_rank_dependent,
+    literal_int,
+    rank_alias_names,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["CollectiveSymmetry", "ReservedTag", "MutateAfterSend"]
+
+#: most negative tag user code may pass explicitly.
+RESERVED_TAG_CEILING = -1000
+
+#: method calls that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "sort", "reverse", "update", "add", "discard", "setdefault",
+        "fill", "resize", "put", "itemset",
+    }
+)
+
+
+def _method_call(node: ast.AST, methods: frozenset[str] | dict) -> tuple[str, str] | None:
+    """``(receiver, method)`` when node is ``<name>.<method>(...)``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in methods
+        and isinstance(node.func.value, ast.Name)
+    ):
+        return node.func.value.id, node.func.attr
+    return None
+
+
+def _own_nodes(func: ast.AST):
+    """Walk ``func`` without descending into nested function defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class CollectiveSymmetry(Rule):
+    id = "MPI001"
+    severity = Severity.ERROR
+    summary = "collective called under a rank-dependent conditional (deadlock risk)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            comm = comm_param_name(func)
+            if comm is None:
+                continue
+            aliases = rank_alias_names(func, comm)
+            yield from self._scan(ctx, func, comm, aliases, under_rank_branch=False)
+
+    def _scan(self, ctx, node, comm, aliases, under_rank_branch) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested defs are checked as their own functions
+            branch = under_rank_branch
+            if isinstance(child, (ast.If, ast.While)) and is_rank_dependent(
+                child.test, comm, aliases
+            ):
+                branch = True
+            hit = _method_call(child, COLLECTIVE_METHODS)
+            if branch and hit is not None and hit[0] == comm:
+                yield self.finding(
+                    ctx,
+                    child,
+                    f"collective `{comm}.{hit[1]}` is only reached by ranks "
+                    f"satisfying a `{comm}.rank`-dependent condition; the other "
+                    "ranks never enter the matching exchange and deadlock",
+                )
+            yield from self._scan(ctx, child, comm, aliases, branch)
+
+
+@register
+class ReservedTag(Rule):
+    id = "MPI002"
+    severity = Severity.ERROR
+    summary = f"literal message tag in the reserved collective space (<= {RESERVED_TAG_CEILING})"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            method = node.func.attr
+            tag_expr: ast.expr | None = None
+            if method in P2P_TAG_POSITION:
+                pos = P2P_TAG_POSITION[method]
+                if len(node.args) > pos:
+                    tag_expr = node.args[pos]
+                for kw in node.keywords:
+                    if kw.arg == "tag":
+                        tag_expr = kw.value
+            elif method in COLLECTIVE_METHODS:
+                for kw in node.keywords:
+                    if kw.arg == "_tag":
+                        tag_expr = kw.value
+            if tag_expr is None:
+                continue
+            value = literal_int(tag_expr)
+            if value is not None and value <= RESERVED_TAG_CEILING:
+                yield self.finding(
+                    ctx,
+                    tag_expr,
+                    f"tag {value} lies in the runtime's reserved collective tag "
+                    f"space (<= {RESERVED_TAG_CEILING}); user traffic there can "
+                    "interleave with internal collective messages",
+                )
+
+
+@register
+class MutateAfterSend(Rule):
+    id = "MPI003"
+    severity = Severity.ERROR
+    summary = "payload name mutated after an eager send in the same function"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            comm = comm_param_name(func)
+            if comm is None:
+                continue
+            sends: dict[str, int] = {}  # payload name -> first send line
+            rebinds: dict[str, list[int]] = {}  # name -> plain-assignment lines
+            for node in _own_nodes(func):
+                hit = _method_call(node, frozenset({"send", "isend"}))
+                if hit is not None and hit[0] == comm:
+                    payload = node.args[0] if node.args else None
+                    if isinstance(payload, ast.Name) and payload.id not in sends:
+                        sends[payload.id] = node.lineno
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            rebinds.setdefault(target.id, []).append(node.lineno)
+            if not sends:
+                continue
+            for node in _own_nodes(func):
+                name, verb = self._mutation(node)
+                if name is None or name not in sends:
+                    continue
+                if node.lineno <= sends[name]:
+                    continue
+                # A plain rebinding between the send and the mutation
+                # means the mutation hits a fresh object, not the sent one.
+                if any(
+                    sends[name] < line <= node.lineno
+                    for line in rebinds.get(name, ())
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{name}` was sent eagerly on line {sends[name]} and is "
+                    f"{verb} here; the receiver sees the same object, so this "
+                    "is a cross-rank data race (copy before sending, or "
+                    "mutate a fresh object)",
+                )
+
+    @staticmethod
+    def _mutation(node: ast.AST) -> tuple[str | None, str]:
+        """(mutated name, verb) when ``node`` mutates a name in place."""
+        hit = _method_call(node, _MUTATING_METHODS)
+        if hit is not None:
+            return hit[0], f"mutated via `.{hit[1]}()`"
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                return node.target.id, "augmented in place"
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for target in targets:
+            if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                return target.value.id, "written through a subscript"
+        return None, ""

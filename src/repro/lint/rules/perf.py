@@ -1,0 +1,70 @@
+"""PERF001: compute loops outside the virtual clock.
+
+In a rank function every nontrivial compute block must run under
+``with comm.timed():`` (or account itself via ``comm.advance``) — work
+done outside the clock is free in model time, which silently *inflates*
+the speedup curves the benchmarks exist to reproduce.  The rule flags
+``for``/``while`` loops in communicator-taking functions that neither
+run under ``timed()`` nor touch the communicator in their body
+(a loop that sends/receives is communication, not untimed compute).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, comm_param_name, references_name
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["UntimedComputeLoop"]
+
+
+def _is_timed_with(node: ast.AST, comm: str) -> bool:
+    """True for ``with comm.timed():`` (possibly among other items)."""
+    if not isinstance(node, ast.With):
+        return False
+    for item in node.items:
+        call = item.context_expr
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "timed"
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == comm
+        ):
+            return True
+    return False
+
+
+@register
+class UntimedComputeLoop(Rule):
+    id = "PERF001"
+    severity = Severity.WARNING
+    summary = "compute loop in a rank function outside comm.timed()/advance()"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ctx.functions():
+            comm = comm_param_name(func)
+            if comm is None:
+                continue
+            yield from self._scan(ctx, func, comm)
+
+    def _scan(self, ctx: FileContext, node: ast.AST, comm: str) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested defs are checked as their own functions
+            if _is_timed_with(child, comm):
+                continue  # everything under the clock is accounted for
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                if not references_name(child, comm):
+                    yield self.finding(
+                        ctx,
+                        child,
+                        "loop runs compute outside the virtual clock — wrap it "
+                        f"in `with {comm}.timed():` (or account it via "
+                        f"`{comm}.advance`) so the speedup curves stay honest",
+                    )
+                    continue  # do not re-flag nested loops of the same block
+            yield from self._scan(ctx, child, comm)

@@ -26,7 +26,12 @@ from repro.mpi.schedule import (
     partition_schedule_makespan,
     speedup_curve,
 )
-from repro.mpi.simcomm import SimComm
+from repro.mpi.simcomm import (
+    DeadlockError,
+    MessageLeakError,
+    PayloadMutationError,
+    SimComm,
+)
 from repro.mpi.timing import CommCostModel, payload_nbytes
 
 __all__ = [
@@ -35,6 +40,9 @@ __all__ = [
     "RunStats",
     "CommCostModel",
     "payload_nbytes",
+    "DeadlockError",
+    "PayloadMutationError",
+    "MessageLeakError",
     "lpt_makespan",
     "partition_schedule_makespan",
     "speedup_curve",

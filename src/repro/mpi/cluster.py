@@ -5,7 +5,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.mpi.simcomm import SimComm, _Channels
+from repro.mpi.simcomm import MessageLeakError, SimComm, _Channels
 from repro.mpi.timing import CommCostModel
 
 __all__ = ["RunStats", "SimCluster"]
@@ -50,17 +50,28 @@ class SimCluster:
         n_ranks: int,
         cost_model: CommCostModel | None = None,
         deadlock_timeout: float = 60.0,
+        sanitize: bool = False,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
         self.n_ranks = n_ranks
         self.cost_model = cost_model or CommCostModel()
         self.deadlock_timeout = deadlock_timeout
+        #: runtime message sanitizer: payload fingerprints at send/recv
+        #: plus a message-leak check at shutdown (see docs/mpi_simulation.md).
+        self.sanitize = sanitize
 
     def run(self, fn, *args, **kwargs) -> tuple[list, RunStats]:
         channels = _Channels()
         comms = [
-            SimComm(r, self.n_ranks, channels, self.cost_model, self.deadlock_timeout)
+            SimComm(
+                r,
+                self.n_ranks,
+                channels,
+                self.cost_model,
+                self.deadlock_timeout,
+                sanitize=self.sanitize,
+            )
             for r in range(self.n_ranks)
         ]
         results: list = [None] * self.n_ranks
@@ -83,6 +94,17 @@ class SimCluster:
         if errors:
             rank, exc = errors[0]
             raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        if self.sanitize:
+            leaks = channels.unconsumed()
+            if leaks:
+                detail = ", ".join(
+                    f"{src}->{dst} tag {tag}: {n} message(s)"
+                    for src, dst, tag, n in leaks
+                )
+                raise MessageLeakError(
+                    f"unconsumed messages at cluster shutdown ({detail}); "
+                    "every send needs a matching receive"
+                )
         stats = RunStats(
             clocks=[c.clock for c in comms],
             compute_times=[c.compute_time for c in comms],

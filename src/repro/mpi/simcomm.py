@@ -19,6 +19,8 @@ Every rank carries a *virtual clock*:
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import queue
 import threading
 import time
@@ -27,7 +29,13 @@ from dataclasses import dataclass
 
 from repro.mpi.timing import CommCostModel, payload_nbytes
 
-__all__ = ["SimComm", "SimRequest", "DeadlockError"]
+__all__ = [
+    "SimComm",
+    "SimRequest",
+    "DeadlockError",
+    "PayloadMutationError",
+    "MessageLeakError",
+]
 
 #: tag space reserved for internal collective traffic.
 _COLLECTIVE_TAG_BASE = -1000
@@ -37,10 +45,42 @@ class DeadlockError(RuntimeError):
     """A recv waited past the runtime's deadlock timeout."""
 
 
+class PayloadMutationError(RuntimeError):
+    """A sanitized payload changed between ``send`` and ``recv``.
+
+    Sends are eager: the object *reference* crosses rank threads
+    immediately, so the sender mutating it afterwards races with the
+    receiver — exactly the bug class the MPI003 lint rule flags
+    statically.  Raised only under ``sanitize=True``.
+    """
+
+
+class MessageLeakError(RuntimeError):
+    """Messages were still sitting in mailboxes at cluster shutdown.
+
+    A leak means a send had no matching receive — a mismatched tag, a
+    wrong peer rank, or an algorithm that exited early.  Raised only
+    under ``sanitize=True``.
+    """
+
+
+def _fingerprint(obj) -> bytes | None:
+    """Stable digest of a payload's pickled bytes (None if unpicklable)."""
+    try:
+        return hashlib.blake2b(
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), digest_size=16
+        ).digest()
+    except Exception:
+        return None
+
+
 @dataclass
 class _Message:
     payload: object
     available_at: float
+    #: sanitizer fingerprint taken at send time (None when disabled
+    #: or the payload is unpicklable).
+    digest: bytes | None = None
 
 
 class _Channels:
@@ -57,6 +97,22 @@ class _Channels:
             if q is None:
                 q = self._queues[key] = queue.Queue()
             return q
+
+    def peek(self, src: int, dst: int, tag: int) -> _Message | None:
+        """Head message of a channel without consuming it."""
+        q = self.get(src, dst, tag)
+        with q.mutex:
+            return q.queue[0] if q.queue else None
+
+    def unconsumed(self) -> list[tuple[int, int, int, int]]:
+        """``(src, dst, tag, count)`` for every non-empty mailbox."""
+        with self._lock:
+            report = []
+            for (src, dst, tag), q in sorted(self._queues.items()):
+                n = q.qsize()
+                if n:
+                    report.append((src, dst, tag, n))
+            return report
 
 
 class SimRequest:
@@ -76,11 +132,19 @@ class SimRequest:
         self._value = None
 
     def test(self) -> bool:
-        """True once the operation can complete without blocking."""
+        """True once the operation has completed *in model time*.
+
+        Consistent with ``recv`` semantics: a message only counts as
+        arrived once the receiver's virtual clock has reached its
+        ``available_at`` (send clock + alpha + beta * bytes).  A message
+        physically enqueued but still "in flight" in model time reports
+        False — poll again after ``advance()``/``timed()`` work, the
+        way a real rank overlaps compute with an outstanding irecv.
+        """
         if self._done:
             return True
-        q = self._comm._channels.get(self._source, self._comm.rank, self._tag)
-        return not q.empty()
+        msg = self._comm._channels.peek(self._source, self._comm.rank, self._tag)
+        return msg is not None and msg.available_at <= self._comm.clock
 
     def wait(self):
         """Complete the operation (returns the payload for receives)."""
@@ -101,6 +165,7 @@ class SimComm:
         channels: _Channels,
         cost_model: CommCostModel,
         deadlock_timeout: float = 60.0,
+        sanitize: bool = False,
     ) -> None:
         if not 0 <= rank < size:
             raise ValueError("rank out of range")
@@ -109,6 +174,9 @@ class SimComm:
         self._channels = channels
         self.cost = cost_model
         self.deadlock_timeout = deadlock_timeout
+        #: message sanitizer: fingerprint payloads at send, re-verify at
+        #: recv, raising :class:`PayloadMutationError` on mismatch.
+        self.sanitize = sanitize
         #: virtual seconds elapsed on this rank.
         self.clock = 0.0
         #: virtual seconds spent purely computing (subset of clock).
@@ -160,7 +228,8 @@ class SimComm:
         self.clock += self.cost.alpha
         self.bytes_sent += nbytes
         self.messages_sent += 1
-        self._channels.get(self.rank, dest, tag).put(_Message(obj, available))
+        digest = _fingerprint(obj) if self.sanitize else None
+        self._channels.get(self.rank, dest, tag).put(_Message(obj, available, digest))
 
     def recv(self, source: int, tag: int = 0):
         """Blocking receive; advances the clock to the arrival time."""
@@ -173,6 +242,14 @@ class SimComm:
                 f"rank {self.rank} timed out receiving from {source} (tag {tag})"
             ) from None
         self.clock = max(self.clock, msg.available_at)
+        if self.sanitize and msg.digest is not None:
+            now = _fingerprint(msg.payload)
+            if now != msg.digest:
+                raise PayloadMutationError(
+                    f"payload from rank {source} to rank {self.rank} "
+                    f"(tag {tag}) changed between send and recv: the sender "
+                    "mutated an eagerly-sent object (see lint rule MPI003)"
+                )
         return msg.payload
 
     def isend(self, obj, dest: int, tag: int = 0) -> SimRequest:
@@ -264,7 +341,24 @@ class SimComm:
         return self.bcast(out, root=0, _tag=_COLLECTIVE_TAG_BASE - 4)
 
     def reduce(self, obj, op=None, root: int = 0, _tag: int = _COLLECTIVE_TAG_BASE - 5):
-        """Binomial-tree reduction (default op: +)."""
+        """Binomial-tree reduction (default op: +).
+
+        ``op`` is applied in **binomial-tree order over virtual ranks**
+        (``vrank = (rank - root) % size``): at each doubling step a
+        surviving vrank ``v`` combines ``acc = op(acc_v, acc_{v+mask})``
+        — the lower vrank's accumulator is always the left operand.
+        Consequences, pinned by ``tests/mpi/test_simcomm.py``:
+
+        - for **associative** ops the result equals a sequential left
+          fold over vrank order; with ``root != 0`` that order is the
+          ranks *rotated* to start at the root, so even an associative
+          non-commutative op (e.g. string concatenation) differs from
+          a rank-0-first fold;
+        - for **non-associative** ops (e.g. subtraction, floating-point
+          sums at scale) the tree grouping itself differs from a
+          sequential left fold — same contract as MPI_Reduce, which
+          only promises a fixed evaluation order for a fixed topology.
+        """
         if op is None:
             op = lambda a, b: a + b
         if self.size == 1:

@@ -1,0 +1,129 @@
+"""Driver-level tests: suppression, formats, file walking, exit codes."""
+
+import io
+import json
+import textwrap
+
+from repro.cli import main
+from repro.lint import (
+    Severity,
+    all_rules,
+    format_findings,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    run,
+)
+
+BAD_SOURCE = textwrap.dedent(
+    """
+    import numpy as np
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.bcast(np.random.rand(4), root=0)
+    """
+)
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        ids = [r.id for r in all_rules()]
+        assert ids == ["DET001", "MPI001", "MPI002", "MPI003", "PERF001"]
+
+    def test_every_rule_has_summary_and_severity(self):
+        for rule in all_rules():
+            assert rule.summary
+            assert rule.severity in (Severity.WARNING, Severity.ERROR)
+
+
+class TestSuppression:
+    def test_noqa_with_rule_id(self):
+        src = "def fn(comm):\n    comm.send('x', 1, tag=-1000)  # noqa: MPI002\n"
+        assert lint_source(src) == []
+
+    def test_bare_noqa_silences_all(self):
+        src = "def fn(comm):\n    comm.send('x', 1, tag=-1000)  # noqa\n"
+        assert lint_source(src) == []
+
+    def test_noqa_for_other_rule_does_not_silence(self):
+        src = "def fn(comm):\n    comm.send('x', 1, tag=-1000)  # noqa: DET001\n"
+        assert [f.rule for f in lint_source(src)] == ["MPI002"]
+
+
+class TestFormats:
+    def test_text_format_is_pyflakes_style(self):
+        fs = lint_source(BAD_SOURCE, path="pkg/mod.py")
+        assert fs, "fixture should produce findings"
+        line = format_findings(fs).splitlines()[0]
+        path_part, line_no, col, rest = line.split(":", 3)
+        assert path_part == "pkg/mod.py"
+        assert line_no.isdigit() and col.isdigit()
+
+    def test_json_format_round_trips(self):
+        fs = lint_source(BAD_SOURCE, path="pkg/mod.py")
+        data = json.loads(format_findings(fs, fmt="json"))
+        assert {d["rule"] for d in data} == {f.rule for f in fs}
+        assert all({"path", "line", "col", "severity", "message"} <= d.keys() for d in data)
+
+    def test_findings_sorted_by_location(self):
+        fs = lint_source(BAD_SOURCE)
+        assert fs == sorted(fs)
+
+    def test_syntax_error_becomes_finding(self):
+        fs = lint_source("def broken(:\n", path="bad.py")
+        assert len(fs) == 1
+        assert fs[0].rule == "E999"
+        assert fs[0].severity is Severity.ERROR
+
+
+class TestPathsAndExitCodes:
+    def _tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text(BAD_SOURCE)
+        (tmp_path / "pkg" / "good.py").write_text("def fn(comm):\n    comm.barrier()\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("import random\n")
+        return tmp_path / "pkg"
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        pkg = self._tree(tmp_path)
+        names = [p.name for p in iter_python_files([pkg])]
+        assert names == ["bad.py", "good.py"]
+
+    def test_lint_paths_finds_only_bad_file(self, tmp_path):
+        pkg = self._tree(tmp_path)
+        fs = lint_paths([pkg])
+        assert {f.rule for f in fs} == {"MPI001", "DET001"}
+        assert all(f.path.endswith("bad.py") for f in fs)
+
+    def test_run_exit_codes(self, tmp_path):
+        pkg = self._tree(tmp_path)
+        sink = io.StringIO()
+        assert run([str(pkg / "good.py")], stream=sink) == 0
+        assert run([str(pkg)], stream=sink) == 1  # MPI001 is an error
+        assert run([str(pkg)], strict=True, stream=sink) == 1
+
+    def test_run_warning_only_tree(self, tmp_path):
+        mod = tmp_path / "warn.py"
+        mod.write_text("import random\nx = random.random()\n")
+        sink = io.StringIO()
+        assert run([str(mod)], stream=sink) == 0  # warnings pass by default
+        assert run([str(mod)], strict=True, stream=sink) == 1
+
+    def test_run_missing_path_is_usage_error(self):
+        assert run(["definitely/not/a/path"], stream=io.StringIO()) == 2
+
+    def test_cli_lint_subcommand(self, tmp_path, capsys):
+        mod = tmp_path / "bad.py"
+        mod.write_text(BAD_SOURCE)
+        rc = main(["lint", str(mod), "--format", "json"])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert {d["rule"] for d in data} == {"MPI001", "DET001"}
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("MPI001", "MPI002", "MPI003", "DET001", "PERF001"):
+            assert rid in out

@@ -1,0 +1,70 @@
+"""True-positive / true-negative fixtures for DET001."""
+
+import textwrap
+
+from repro.lint import Severity, lint_source, select_rules
+
+
+def findings(src):
+    return lint_source(
+        textwrap.dedent(src), path="fixture.py", rules=select_rules(["DET001"])
+    )
+
+
+class TestDET001UnseededRng:
+    def test_np_random_module_call_flagged(self):
+        fs = findings(
+            """
+            import numpy as np
+            x = np.random.rand(10)
+            """
+        )
+        assert len(fs) == 1
+        assert fs[0].rule == "DET001"
+        assert fs[0].severity is Severity.WARNING
+        assert "np.random.rand" in fs[0].message
+
+    def test_numpy_random_seed_flagged(self):
+        fs = findings(
+            """
+            import numpy
+            numpy.random.seed(0)
+            vals = numpy.random.normal(size=3)
+            """
+        )
+        assert len(fs) == 2
+
+    def test_stdlib_random_call_flagged(self):
+        fs = findings(
+            """
+            import random
+            def jitter():
+                return random.random() + random.randint(0, 5)
+            """
+        )
+        assert len(fs) == 2
+
+    def test_seeded_generators_clean(self):
+        fs = findings(
+            """
+            import random
+            import numpy as np
+            rng = np.random.default_rng(42)
+            x = rng.random(10)
+            r = random.Random(7)
+            y = r.randint(0, 5)
+            g = np.random.Generator(np.random.PCG64(1))
+            """
+        )
+        assert fs == []
+
+    def test_unrelated_random_object_clean(self):
+        # A local variable called `random` (no `import random`) is not
+        # the stdlib module; only real module-level draws are flagged.
+        fs = findings(
+            """
+            def fn(random):
+                return random.choice([1, 2])
+            """
+        )
+        assert fs == []

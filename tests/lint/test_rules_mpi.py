@@ -1,0 +1,227 @@
+"""True-positive / true-negative fixtures for MPI001, MPI002, MPI003."""
+
+import textwrap
+
+from repro.lint import Severity, lint_source, select_rules
+
+
+def findings(src, rule_id):
+    return lint_source(
+        textwrap.dedent(src), path="fixture.py", rules=select_rules([rule_id])
+    )
+
+
+class TestMPI001CollectiveSymmetry:
+    def test_collective_under_rank_branch_flagged(self):
+        fs = findings(
+            """
+            def fn(comm):
+                if comm.rank == 0:
+                    comm.bcast([1, 2, 3], root=0)
+            """,
+            "MPI001",
+        )
+        assert len(fs) == 1
+        assert fs[0].rule == "MPI001"
+        assert fs[0].severity is Severity.ERROR
+        assert "bcast" in fs[0].message
+
+    def test_collective_under_rank_alias_branch_flagged(self):
+        fs = findings(
+            """
+            def fn(comm):
+                me = comm.get_rank()
+                if me != 0:
+                    comm.barrier()
+            """,
+            "MPI001",
+        )
+        assert len(fs) == 1
+
+    def test_collective_in_else_branch_flagged(self):
+        fs = findings(
+            """
+            def fn(comm):
+                if comm.rank == 0:
+                    x = 1
+                else:
+                    x = comm.gather(2, root=0)
+            """,
+            "MPI001",
+        )
+        assert len(fs) == 1
+
+    def test_symmetric_collective_after_rank_branch_clean(self):
+        # The repo's canonical pattern: rank-0-only compute between two
+        # collectives that every rank reaches.
+        fs = findings(
+            """
+            def trim(comm, dag):
+                gathered = comm.gather([1], root=0)
+                removed = None
+                if comm.rank == 0:
+                    removed = len(gathered)
+                return comm.bcast(removed, root=0)
+            """,
+            "MPI001",
+        )
+        assert fs == []
+
+    def test_point_to_point_under_rank_branch_clean(self):
+        # send/recv under a rank branch is the normal SPMD idiom.
+        fs = findings(
+            """
+            def fn(comm):
+                if comm.rank == 0:
+                    comm.send(1, dest=1)
+                else:
+                    comm.recv(source=0)
+            """,
+            "MPI001",
+        )
+        assert fs == []
+
+    def test_function_without_comm_clean(self):
+        fs = findings(
+            """
+            def fn(comm: str, rank=0):
+                if rank == 0:
+                    comm.bcast(1)
+            """,
+            "MPI001",
+        )
+        assert fs == []
+
+
+class TestMPI002ReservedTag:
+    def test_literal_reserved_tag_keyword_flagged(self):
+        fs = findings(
+            """
+            def fn(comm):
+                comm.send("x", dest=1, tag=-1000)
+            """,
+            "MPI002",
+        )
+        assert len(fs) == 1
+        assert "-1000" in fs[0].message
+
+    def test_literal_reserved_tag_positional_flagged(self):
+        fs = findings(
+            """
+            def fn(comm):
+                comm.recv(0, -1234)
+            """,
+            "MPI002",
+        )
+        assert len(fs) == 1
+
+    def test_collective_private_tag_override_flagged(self):
+        fs = findings(
+            """
+            def fn(comm):
+                comm.bcast(1, root=0, _tag=-2000)
+            """,
+            "MPI002",
+        )
+        assert len(fs) == 1
+
+    def test_user_tag_space_clean(self):
+        fs = findings(
+            """
+            def fn(comm):
+                comm.send("x", dest=1, tag=0)
+                comm.send("y", dest=1, tag=42)
+                comm.recv(1, tag=-999)
+            """,
+            "MPI002",
+        )
+        assert fs == []
+
+    def test_symbolic_tag_clean(self):
+        # Names are not literals: the runtime's own internal tags pass.
+        fs = findings(
+            """
+            BASE = -1000
+            def fn(comm, _tag=BASE):
+                comm.send("x", dest=1, tag=_tag)
+            """,
+            "MPI002",
+        )
+        assert fs == []
+
+
+class TestMPI003MutateAfterSend:
+    def test_append_after_send_flagged(self):
+        fs = findings(
+            """
+            def fn(comm):
+                buf = [1, 2]
+                comm.send(buf, dest=1)
+                buf.append(3)
+            """,
+            "MPI003",
+        )
+        assert len(fs) == 1
+        assert "buf" in fs[0].message
+
+    def test_subscript_write_after_isend_flagged(self):
+        fs = findings(
+            """
+            def fn(comm):
+                table = {}
+                req = comm.isend(table, dest=1)
+                table["k"] = 1
+                req.wait()
+            """,
+            "MPI003",
+        )
+        assert len(fs) == 1
+
+    def test_augassign_after_send_flagged(self):
+        fs = findings(
+            """
+            def fn(comm, arr):
+                comm.send(arr, dest=1)
+                arr += 1
+            """,
+            "MPI003",
+        )
+        assert len(fs) == 1
+
+    def test_mutation_before_send_clean(self):
+        fs = findings(
+            """
+            def fn(comm):
+                buf = [1]
+                buf.append(2)
+                comm.send(buf, dest=1)
+            """,
+            "MPI003",
+        )
+        assert fs == []
+
+    def test_rebinding_after_send_clean(self):
+        # Rebinding the *name* leaves the sent object untouched.
+        fs = findings(
+            """
+            def fn(comm):
+                bucket = {0: 1}
+                comm.send(bucket, dest=1)
+                bucket = {}
+                bucket.update({1: 2})
+            """,
+            "MPI003",
+        )
+        assert fs == []
+
+    def test_mutating_a_different_name_clean(self):
+        fs = findings(
+            """
+            def fn(comm):
+                a, b = [1], [2]
+                comm.send(a, dest=1)
+                b.append(3)
+            """,
+            "MPI003",
+        )
+        assert fs == []

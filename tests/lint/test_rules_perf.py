@@ -1,0 +1,93 @@
+"""True-positive / true-negative fixtures for PERF001."""
+
+import textwrap
+
+from repro.lint import Severity, lint_source, select_rules
+
+
+def findings(src):
+    return lint_source(
+        textwrap.dedent(src), path="fixture.py", rules=select_rules(["PERF001"])
+    )
+
+
+class TestPERF001UntimedCompute:
+    def test_bare_compute_loop_flagged(self):
+        fs = findings(
+            """
+            def rank_fn(comm, items):
+                total = 0
+                for x in items:
+                    total += x * x
+                return comm.allreduce(total)
+            """
+        )
+        assert len(fs) == 1
+        assert fs[0].rule == "PERF001"
+        assert fs[0].severity is Severity.WARNING
+        assert "timed" in fs[0].message
+
+    def test_nested_untimed_loop_flagged_once(self):
+        fs = findings(
+            """
+            def rank_fn(comm, grid):
+                acc = 0
+                for row in grid:
+                    for cell in row:
+                        acc += cell
+                return comm.allreduce(acc)
+            """
+        )
+        assert len(fs) == 1  # only the outermost loop is reported
+
+    def test_loop_under_timed_clean(self):
+        fs = findings(
+            """
+            def rank_fn(comm, items):
+                total = 0
+                with comm.timed():
+                    for x in items:
+                        total += x * x
+                return comm.allreduce(total)
+            """
+        )
+        assert fs == []
+
+    def test_communication_loop_clean(self):
+        # A loop that drives sends/receives is communication, already
+        # charged by the cost model, not untimed compute.
+        fs = findings(
+            """
+            def rank_fn(comm, objs):
+                for dst in range(comm.size):
+                    if dst != comm.rank:
+                        comm.send(objs[dst], dst)
+            """
+        )
+        assert fs == []
+
+    def test_loop_containing_timed_block_clean(self):
+        # The repo's task-loop idiom: iterate tasks, time each one.
+        fs = findings(
+            """
+            def rank_fn(comm, tasks):
+                out = []
+                for t in tasks:
+                    with comm.timed():
+                        out.append(t * 2)
+                return out
+            """
+        )
+        assert fs == []
+
+    def test_function_without_comm_clean(self):
+        fs = findings(
+            """
+            def pure_helper(items):
+                total = 0
+                for x in items:
+                    total += x
+                return total
+            """
+        )
+        assert fs == []

@@ -1,0 +1,33 @@
+"""The shipped tree must stay lint-clean.
+
+Runs the full rule set over ``src/repro``, ``examples``, and
+``benchmarks`` and asserts zero findings of *any* severity (so
+``python -m repro lint ... --strict`` exits 0).  Every future PR that
+introduces a rank-dependent collective, a reserved tag, a
+mutate-after-send race, an unseeded RNG, or an untimed compute loop
+fails tier-1 here — the lint net the scaling roadmap relies on.
+"""
+
+from pathlib import Path
+
+from repro.lint import Severity, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _lintable(*names):
+    return [REPO_ROOT / n for n in names if (REPO_ROOT / n).exists()]
+
+
+def test_src_repro_has_zero_error_findings():
+    errors = [
+        f
+        for f in lint_paths(_lintable("src/repro"))
+        if f.severity >= Severity.ERROR
+    ]
+    assert errors == [], "\n" + "\n".join(f.format_text() for f in errors)
+
+
+def test_whole_tree_is_strict_clean():
+    findings = lint_paths(_lintable("src/repro", "examples", "benchmarks"))
+    assert findings == [], "\n" + "\n".join(f.format_text() for f in findings)

@@ -1,0 +1,126 @@
+"""Hypothesis property tests for the collectives.
+
+For random communicator sizes, roots, and payloads, every collective
+must deliver mpi4py-equivalent *values* and keep every rank's virtual
+clock *monotone* (a collective can only move clocks forward).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.cluster import SimCluster
+from repro.mpi.timing import CommCostModel
+
+FAST = CommCostModel(alpha=1e-6, beta=1e-9)
+
+sizes = st.integers(min_value=1, max_value=6)
+payloads = st.one_of(
+    st.integers(-(10**6), 10**6),
+    st.text(max_size=8),
+    st.lists(st.integers(0, 255), max_size=6),
+)
+seeds = st.integers(0, 2**31 - 1)
+
+COMMON = dict(max_examples=25, deadline=None)
+
+
+def run_collective(size, fn):
+    """Run ``fn(comm)`` on ``size`` ranks; returns (results, clock deltas ok)."""
+    monotone = [None] * size
+
+    def wrapper(comm):
+        before = comm.clock
+        out = fn(comm)
+        monotone[comm.rank] = comm.clock >= before
+        return out
+
+    results, stats = SimCluster(size, cost_model=FAST, deadlock_timeout=30.0).run(wrapper)
+    assert all(monotone), "a collective moved a rank's clock backwards"
+    assert all(c >= 0.0 for c in stats.clocks)
+    return results
+
+
+@settings(**COMMON)
+@given(data=st.data(), size=sizes, obj=payloads)
+def test_bcast_delivers_root_object(data, size, obj):
+    root = data.draw(st.integers(0, size - 1))
+    results = run_collective(size, lambda comm: comm.bcast(obj, root=root))
+    assert results == [obj] * size
+
+
+@settings(**COMMON)
+@given(data=st.data(), size=sizes)
+def test_gather_orders_by_rank(data, size):
+    root = data.draw(st.integers(0, size - 1))
+    results = run_collective(size, lambda comm: comm.gather(("r", comm.rank), root=root))
+    for rank, res in enumerate(results):
+        if rank == root:
+            assert res == [("r", r) for r in range(size)]
+        else:
+            assert res is None
+
+
+@settings(**COMMON)
+@given(data=st.data(), size=sizes, items=st.data())
+def test_scatter_routes_item_i_to_rank_i(data, size, items):
+    root = data.draw(st.integers(0, size - 1))
+    objs = items.draw(st.lists(payloads, min_size=size, max_size=size))
+
+    def fn(comm):
+        return comm.scatter(objs if comm.rank == root else None, root=root)
+
+    assert run_collective(size, fn) == objs
+
+
+@settings(**COMMON)
+@given(size=sizes)
+def test_allgather_same_full_list_everywhere(size):
+    results = run_collective(size, lambda comm: comm.allgather(comm.rank * 11))
+    assert results == [[r * 11 for r in range(size)]] * size
+
+
+@settings(**COMMON)
+@given(data=st.data(), size=sizes, seed=seeds)
+def test_reduce_sum_matches_python_sum(data, size, seed):
+    root = data.draw(st.integers(0, size - 1))
+    values = [(seed + 37 * r) % 1009 for r in range(size)]
+    results = run_collective(
+        size, lambda comm: comm.reduce(values[comm.rank], root=root)
+    )
+    assert results[root] == sum(values)
+    assert all(res is None for r, res in enumerate(results) if r != root)
+
+
+@settings(**COMMON)
+@given(size=sizes, seed=seeds)
+def test_allreduce_max_everywhere(size, seed):
+    values = [(seed + 101 * r) % 4093 for r in range(size)]
+    results = run_collective(
+        size, lambda comm: comm.allreduce(values[comm.rank], op=max)
+    )
+    assert results == [max(values)] * size
+
+
+@settings(**COMMON)
+@given(size=sizes)
+def test_alltoall_is_a_transpose(size):
+    def fn(comm):
+        return comm.alltoall([(comm.rank, dst) for dst in range(size)])
+
+    results = run_collective(size, fn)
+    for dst in range(size):
+        assert results[dst] == [(src, dst) for src in range(size)]
+
+
+@settings(**COMMON)
+@given(size=sizes, seed=seeds)
+def test_barrier_aligns_clocks_to_group_max(size, seed):
+    delays = [((seed + r) % 7) / 10.0 for r in range(size)]
+
+    def fn(comm):
+        comm.advance(delays[comm.rank])
+        comm.barrier()
+        return comm.clock
+
+    results = run_collective(size, fn)
+    slowest = max(delays)
+    assert all(c >= slowest for c in results)

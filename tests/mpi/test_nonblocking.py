@@ -47,14 +47,41 @@ class TestNonblocking:
                 comm.send("x", dest=1)
                 return None
             req = comm.irecv(source=0)
+            # Poll-while-computing: test() only reports completion once
+            # the receiver's virtual clock reaches the message's
+            # available_at, so each poll interleaves model-time work.
             for _ in range(200):
                 if req.test():
                     break
+                comm.advance(0.001)
                 time.sleep(0.005)
             assert req.test()
             return req.wait()
 
         results, _ = cluster(2).run(fn)
+        assert results[1] == "x"
+
+    def test_request_test_honors_virtual_arrival_time(self):
+        import threading
+
+        sent = threading.Event()
+        slow = CommCostModel(alpha=1.0, beta=0.0)  # 1 virtual second latency
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+                sent.set()
+                return None
+            req = comm.irecv(source=0)
+            assert sent.wait(timeout=10.0)
+            # The message is physically enqueued but, in model time,
+            # still in flight: available_at ~= 1.0 > clock 0.0.
+            assert not req.test()
+            comm.advance(2.0)
+            assert req.test()
+            return req.wait()
+
+        results, _ = SimCluster(2, cost_model=slow, deadlock_timeout=20.0).run(fn)
         assert results[1] == "x"
 
     def test_wait_idempotent(self):

@@ -1,0 +1,123 @@
+"""Tests for the runtime message sanitizer (``sanitize=True``)."""
+
+import threading
+import warnings
+
+import pytest
+
+from repro.mpi.cluster import SimCluster
+from repro.mpi.simcomm import MessageLeakError, PayloadMutationError
+from repro.mpi.timing import CommCostModel
+
+FAST = CommCostModel(alpha=1e-6, beta=1e-9)
+
+
+def cluster(n, **kw):
+    kw.setdefault("cost_model", FAST)
+    kw.setdefault("deadlock_timeout", 20.0)
+    return SimCluster(n, **kw)
+
+
+class TestPayloadMutation:
+    def test_mutate_after_send_raises(self):
+        """The canonical MPI003 race, caught at runtime."""
+        mutated = threading.Event()
+
+        def fn(comm):
+            if comm.rank == 0:
+                payload = [1, 2, 3]
+                comm.send(payload, dest=1)
+                payload.append(4)  # noqa: MPI003 - deliberate race under test
+                mutated.set()
+                return None
+            assert mutated.wait(timeout=10.0)
+            return comm.recv(source=0)
+
+        with pytest.raises(RuntimeError) as exc_info:
+            cluster(2, sanitize=True).run(fn)
+        assert isinstance(exc_info.value.__cause__, PayloadMutationError)
+
+    def test_clean_exchange_passes(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"k": [1, 2]}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results, _ = cluster(2, sanitize=True).run(fn)
+        assert results[1] == {"k": [1, 2]}
+
+    def test_collectives_pass_under_sanitizer(self):
+        def fn(comm):
+            data = comm.bcast(list(range(8)), root=0)
+            total = comm.allreduce(comm.rank)
+            parts = comm.allgather(data[comm.rank % len(data)])
+            return (data, total, parts)
+
+        size = 5
+        results, _ = cluster(size, sanitize=True).run(fn)
+        for data, total, parts in results:
+            assert data == list(range(8))
+            assert total == sum(range(size))
+            assert parts == [r % 8 for r in range(size)]
+
+    def test_unpicklable_payload_skips_fingerprint(self):
+        """No digest can be taken, so the sanitizer must not crash."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    comm.send(threading.Lock(), dest=1)
+                return None
+            received = comm.recv(source=0)
+            return type(received).__name__
+
+        results, _ = cluster(2, sanitize=True).run(fn)
+        assert "lock" in results[1].lower()
+
+    def test_mutation_not_detected_without_sanitize(self):
+        """Default mode keeps the old permissive behavior."""
+        mutated = threading.Event()
+
+        def fn(comm):
+            if comm.rank == 0:
+                payload = [1]
+                comm.send(payload, dest=1)
+                payload.append(2)  # noqa: MPI003 - deliberate race under test
+                mutated.set()
+                return None
+            assert mutated.wait(timeout=10.0)
+            return comm.recv(source=0)
+
+        results, _ = cluster(2).run(fn)
+        assert results[1] == [1, 2]  # receiver observes the race silently
+
+
+class TestMessageLeak:
+    def test_unconsumed_message_raises_at_shutdown(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("orphan", dest=1, tag=7)  # nobody ever receives this
+
+        with pytest.raises(MessageLeakError, match=r"0->1 tag 7"):
+            cluster(2, sanitize=True).run(fn)
+
+    def test_unconsumed_message_ignored_without_sanitize(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("orphan", dest=1, tag=7)
+
+        cluster(2).run(fn)  # no error: leak detection is opt-in
+
+    def test_rank_error_takes_precedence_over_leak(self):
+        """A failing rank reports its own error, not the leak it caused."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+                raise ValueError("boom")
+            comm.advance(0.0)  # rank 1 exits without receiving
+
+        with pytest.raises(RuntimeError, match="boom"):
+            cluster(2, sanitize=True).run(fn)

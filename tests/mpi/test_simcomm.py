@@ -216,6 +216,35 @@ class TestCollectives:
         results, _ = cluster(6).run(fn)
         assert results[0] == 5
 
+    def test_reduce_binomial_order_nonzero_root(self):
+        """Pins the documented op order: a left fold over *vrank* order.
+
+        String concatenation is associative but not commutative, so the
+        result exposes the operand order: with root=1 on 3 ranks the
+        vrank order is (1, 2, 0), not rank order (0, 1, 2).
+        """
+
+        def fn(comm):
+            return comm.reduce(str(comm.rank), op=lambda a, b: a + b, root=1)
+
+        results, _ = cluster(3).run(fn)
+        assert results[1] == "120"  # NOT "012": vrank order starts at the root
+
+    def test_reduce_binomial_order_nonassociative_op(self):
+        """Pins the tree grouping for a non-associative op (subtraction).
+
+        On 4 ranks the binomial tree computes (0-1) - (2-3) = 0, which
+        differs from the sequential left fold ((0-1)-2)-3 = -6 — the
+        same contract as MPI_Reduce with a non-associative op.
+        """
+
+        def fn(comm):
+            return comm.reduce(comm.rank, op=lambda a, b: a - b, root=0)
+
+        results, _ = cluster(4).run(fn)
+        assert results[0] == 0
+        assert results[0] != ((0 - 1) - 2) - 3
+
     @pytest.mark.parametrize("size", [1, 2, 4, 7])
     def test_allreduce(self, size):
         def fn(comm):

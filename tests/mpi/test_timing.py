@@ -1,8 +1,12 @@
 """Unit tests for the communication cost model."""
 
+import threading
+import warnings
+
 import numpy as np
 import pytest
 
+from repro.mpi import timing
 from repro.mpi.timing import CommCostModel, payload_nbytes
 
 
@@ -17,6 +21,28 @@ class TestPayloadNbytes:
 
     def test_larger_object_larger_size(self):
         assert payload_nbytes(list(range(1000))) > payload_nbytes([1])
+
+    @pytest.mark.parametrize(
+        "buf", [b"x" * 4096, bytearray(b"y" * 4096), memoryview(b"z" * 4096)]
+    )
+    def test_byte_buffer_fast_path(self, buf):
+        assert payload_nbytes(buf) == 4096 + timing._BYTES_OVERHEAD
+
+    def test_memoryview_of_ndarray_uses_nbytes(self):
+        mv = memoryview(np.zeros(100, dtype=np.int32))
+        assert payload_nbytes(mv) == 400 + timing._BYTES_OVERHEAD
+
+    def test_empty_buffer(self):
+        assert payload_nbytes(b"") == timing._BYTES_OVERHEAD
+
+    def test_unpicklable_warns_once_then_is_silent(self, monkeypatch):
+        monkeypatch.setattr(timing, "_warned_unpicklable", False)
+        lock = threading.Lock()  # locks cannot be pickled
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            assert payload_nbytes(lock) == timing._UNPICKLABLE_FALLBACK
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            assert payload_nbytes(lock) == timing._UNPICKLABLE_FALLBACK
 
 
 class TestCommCostModel:
