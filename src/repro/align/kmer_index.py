@@ -3,18 +3,59 @@
 This is the depth-k truncation of the reference suffix array: all
 packed k-mers of all reference reads, sorted, with parallel arrays
 giving the read each k-mer came from and its offset within that read.
-Querying a batch of k-mers is two ``np.searchsorted`` calls plus an
-expansion — no per-hit Python work.
+The build is one bulk :meth:`~repro.io.readset.ReadSet.kmer_table` call
+(cache-backed, no per-read Python loop) plus a sort; querying a batch
+of k-mers is two ``np.searchsorted`` calls plus an expansion — no
+per-hit Python work.  All index arrays are ``int64`` on every platform.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.io.readset import ReadSet
-from repro.sequence.kmers import kmer_codes
 
-__all__ = ["KmerIndex"]
+__all__ = ["KmerIndex", "CompressedQueries", "compress_queries"]
+
+#: batch size above which lookups binary-search unique query values
+#: only.  High-coverage query batches repeat each genomic k-mer many
+#: times; deduplicating first makes the searchsorted cost scale with
+#: distinct k-mers, not total k-mers.
+_UNIQUE_LOOKUP_MIN = 2048
+
+
+@dataclass(frozen=True)
+class CompressedQueries:
+    """A query batch preprocessed for repeated lookups.
+
+    The valid-filtering and unique-compression of a query batch depend
+    only on the batch, not on the index — one overlap query subset is
+    looked up against several reference indexes, so callers can compute
+    this once per subset (:func:`compress_queries`) and pass it to each
+    :meth:`KmerIndex.lookup`.
+    """
+
+    #: positions of valid (>= 0) entries in the original batch.
+    valid: np.ndarray
+    #: the valid k-mer values themselves.
+    vals: np.ndarray
+    #: sorted distinct values and the inverse map, or None for small
+    #: batches where direct searchsorted is cheaper.
+    uniq: np.ndarray | None
+    inverse: np.ndarray | None
+
+
+def compress_queries(query_vals: np.ndarray) -> CompressedQueries:
+    """Preprocess a query batch for reuse across several indexes."""
+    query_vals = np.asarray(query_vals, dtype=np.int64)
+    valid = np.flatnonzero(query_vals >= 0).astype(np.int64, copy=False)
+    vals = query_vals[valid]
+    if vals.size >= _UNIQUE_LOOKUP_MIN:
+        uniq, inverse = np.unique(vals, return_inverse=True)
+        return CompressedQueries(valid, vals, uniq, inverse)
+    return CompressedQueries(valid, vals, None, None)
 
 
 class KmerIndex:
@@ -29,53 +70,55 @@ class KmerIndex:
             read_indices = np.arange(len(reads), dtype=np.int64)
         self.read_indices = np.asarray(read_indices, dtype=np.int64)
 
-        vals_parts: list[np.ndarray] = []
-        read_parts: list[np.ndarray] = []
-        off_parts: list[np.ndarray] = []
-        for ridx in self.read_indices.tolist():
-            vals = kmer_codes(reads.codes_of(ridx), k)
-            valid = np.flatnonzero(vals >= 0)
-            if valid.size == 0:
-                continue
-            vals_parts.append(vals[valid])
-            read_parts.append(np.full(valid.size, ridx, dtype=np.int64))
-            off_parts.append(valid.astype(np.int64))
-        if vals_parts:
-            vals = np.concatenate(vals_parts)
-            order = np.argsort(vals, kind="stable")
-            self.kmers = vals[order]
-            self.kmer_reads = np.concatenate(read_parts)[order]
-            self.kmer_offsets = np.concatenate(off_parts)[order]
-        else:
-            self.kmers = np.empty(0, dtype=np.int64)
-            self.kmer_reads = np.empty(0, dtype=np.int64)
-            self.kmer_offsets = np.empty(0, dtype=np.int64)
+        vals, read_ids, offsets = reads.kmer_table(k, self.read_indices)
+        valid = vals >= 0
+        if not valid.all():
+            vals, read_ids, offsets = vals[valid], read_ids[valid], offsets[valid]
+        order = np.argsort(vals, kind="stable")
+        self.kmers = vals[order]
+        self.kmer_reads = read_ids[order]
+        self.kmer_offsets = offsets[order]
 
     def __len__(self) -> int:
         return int(self.kmers.size)
 
-    def lookup(self, query_vals: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def lookup(
+        self,
+        query_vals: np.ndarray,
+        compressed: CompressedQueries | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Find all occurrences of each query k-mer.
 
         Parameters
         ----------
         query_vals:
             Packed k-mer values (invalid entries < 0 are skipped).
+        compressed:
+            Optional :func:`compress_queries` result for this exact
+            batch, reused when one batch is looked up against several
+            indexes.
 
         Returns
         -------
         (query_pos, hit_reads, hit_offsets):
-            parallel arrays, one row per (query k-mer, reference
-            occurrence) pair; ``query_pos`` indexes into ``query_vals``.
+            parallel ``int64`` arrays, one row per (query k-mer,
+            reference occurrence) pair; ``query_pos`` indexes into
+            ``query_vals``.
         """
-        query_vals = np.asarray(query_vals, dtype=np.int64)
-        valid = np.flatnonzero(query_vals >= 0)
+        if compressed is None:
+            compressed = compress_queries(query_vals)
+        valid, vals = compressed.valid, compressed.vals
         if valid.size == 0 or self.kmers.size == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy(), empty.copy()
-        vals = query_vals[valid]
-        lo = np.searchsorted(self.kmers, vals, side="left")
-        hi = np.searchsorted(self.kmers, vals, side="right")
+        if compressed.inverse is not None:
+            lo_u = np.searchsorted(self.kmers, compressed.uniq, side="left")
+            hi_u = np.searchsorted(self.kmers, compressed.uniq, side="right")
+            lo = lo_u[compressed.inverse].astype(np.int64, copy=False)
+            hi = hi_u[compressed.inverse].astype(np.int64, copy=False)
+        else:
+            lo = np.searchsorted(self.kmers, vals, side="left").astype(np.int64, copy=False)
+            hi = np.searchsorted(self.kmers, vals, side="right").astype(np.int64, copy=False)
         counts = hi - lo
         total = int(counts.sum())
         if total == 0:
@@ -84,7 +127,7 @@ class KmerIndex:
         query_pos = np.repeat(valid, counts)
         # Build flat indices [lo_i, hi_i) for each query k-mer i.
         starts = np.repeat(lo, counts)
-        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
         flat = starts + within
         return query_pos, self.kmer_reads[flat], self.kmer_offsets[flat]
 

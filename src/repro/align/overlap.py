@@ -11,7 +11,16 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["OverlapKind", "Overlap", "overlap_span", "classify_overlap"]
+import numpy as np
+
+__all__ = [
+    "OverlapKind",
+    "Overlap",
+    "PackedOverlaps",
+    "KIND_CODES",
+    "overlap_span",
+    "classify_overlap",
+]
 
 
 class OverlapKind(enum.Enum):
@@ -65,6 +74,92 @@ class Overlap:
             identity=self.identity,
             kind=flip[self.kind],
         )
+
+
+#: Stable numeric encoding of :class:`OverlapKind` used by the batch
+#: engine and the multiprocess wire format (index = code).
+KIND_CODES: tuple[OverlapKind, ...] = (
+    OverlapKind.EQUAL,
+    OverlapKind.QUERY_CONTAINED,
+    OverlapKind.REF_CONTAINED,
+    OverlapKind.QUERY_LEFT,
+    OverlapKind.QUERY_RIGHT,
+)
+
+_CODE_OF_KIND = {kind: code for code, kind in enumerate(KIND_CODES)}
+
+
+@dataclass(frozen=True)
+class PackedOverlaps:
+    """A batch of overlaps as parallel numpy columns.
+
+    This is the native output of the vectorized verification pass and
+    the wire format of the multiprocess executor (seven flat arrays
+    pickle far cheaper than thousands of :class:`Overlap` objects).
+    ``to_overlaps``/``from_overlaps`` round-trip exactly.
+    """
+
+    query: np.ndarray
+    ref: np.ndarray
+    q_start: np.ndarray
+    r_start: np.ndarray
+    length: np.ndarray
+    identity: np.ndarray
+    kind_code: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.query.size)
+
+    @classmethod
+    def empty(cls) -> "PackedOverlaps":
+        i64 = np.empty(0, dtype=np.int64)
+        return cls(
+            query=i64,
+            ref=i64.copy(),
+            q_start=i64.copy(),
+            r_start=i64.copy(),
+            length=i64.copy(),
+            identity=np.empty(0, dtype=np.float64),
+            kind_code=np.empty(0, dtype=np.uint8),
+        )
+
+    @classmethod
+    def from_overlaps(cls, overlaps: list[Overlap]) -> "PackedOverlaps":
+        if not overlaps:
+            return cls.empty()
+        return cls(
+            query=np.array([o.query for o in overlaps], dtype=np.int64),
+            ref=np.array([o.ref for o in overlaps], dtype=np.int64),
+            q_start=np.array([o.q_start for o in overlaps], dtype=np.int64),
+            r_start=np.array([o.r_start for o in overlaps], dtype=np.int64),
+            length=np.array([o.length for o in overlaps], dtype=np.int64),
+            identity=np.array([o.identity for o in overlaps], dtype=np.float64),
+            kind_code=np.array(
+                [_CODE_OF_KIND[o.kind] for o in overlaps], dtype=np.uint8
+            ),
+        )
+
+    def to_overlaps(self) -> list[Overlap]:
+        return [
+            Overlap(
+                query=q,
+                ref=r,
+                q_start=qs,
+                r_start=rs,
+                length=ln,
+                identity=idt,
+                kind=KIND_CODES[kc],
+            )
+            for q, r, qs, rs, ln, idt, kc in zip(
+                self.query.tolist(),
+                self.ref.tolist(),
+                self.q_start.tolist(),
+                self.r_start.tolist(),
+                self.length.tolist(),
+                self.identity.tolist(),
+                self.kind_code.tolist(),
+            )
+        ]
 
 
 def overlap_span(diagonal: int, len_q: int, len_r: int) -> tuple[int, int, int]:

@@ -7,6 +7,12 @@ from repro.bench.datasets import (
     build_dataset,
     standard_datasets,
 )
+from repro.bench.overlap_bench import (
+    OverlapBenchRecord,
+    OverlapBenchReport,
+    regression_failures,
+    run_overlap_bench,
+)
 from repro.bench.reporting import format_series, format_table
 
 __all__ = [
@@ -17,4 +23,8 @@ __all__ = [
     "standard_datasets",
     "format_table",
     "format_series",
+    "OverlapBenchRecord",
+    "OverlapBenchReport",
+    "run_overlap_bench",
+    "regression_failures",
 ]

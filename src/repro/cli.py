@@ -1,11 +1,13 @@
-"""Command-line interface: simulate, assemble, stats.
+"""Command-line interface: simulate, overlap, assemble, bench, stats.
 
 Usage examples::
 
     python -m repro simulate-genome --length 25000 --seed 1 -o genome.fasta
     python -m repro simulate-reads --genome genome.fasta --coverage 12 -o reads.fastq
     python -m repro simulate-community --seed 7 --coverage 8 -o reads.fastq --refs refs.fasta
-    python -m repro assemble reads.fastq -o contigs.fasta --partitions 4
+    python -m repro overlap reads.fastq -o overlaps.tsv --workers 4
+    python -m repro assemble reads.fastq -o contigs.fasta --partitions 4 --workers 4
+    python -m repro bench overlap -o BENCH_overlap.json
     python -m repro stats contigs.fasta
 """
 
@@ -68,10 +70,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("hybrid", "multilevel"), default="hybrid")
     p.add_argument("--min-overlap", type=int, default=50)
     p.add_argument("--min-identity", type=float, default=0.9)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the alignment stage (0/1 = serial)",
+    )
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "overlap", help="compute pairwise read overlaps, write a TSV"
+    )
+    p.add_argument("reads", help="FASTA/FASTQ read set")
+    p.add_argument("-o", "--output", required=True, help="overlap TSV")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0/1 = serial in-process)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("vectorized", "loop"),
+        default="vectorized",
+        help="vectorized batch engine or the legacy per-query loop",
+    )
+    p.add_argument("--subsets", type=int, default=4, help="read-subset count")
+    p.add_argument("--min-overlap", type=int, default=50)
+    p.add_argument("--min-identity", type=float, default=0.9)
 
     p = sub.add_parser("stats", help="print N50/max/count for a contig FASTA")
     p.add_argument("contigs")
+
+    p = sub.add_parser(
+        "bench",
+        help="performance benchmarks on the standard D1-D3 datasets",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    b = bench_sub.add_parser(
+        "overlap",
+        help="time the overlap engines (loop / vectorized / process)",
+        description=(
+            "Times the legacy loop engine, the vectorized engine, and the "
+            "multiprocess driver on D1-D3, verifies all three produce "
+            "identical overlap sets, and writes the trajectory JSON.  "
+            "Exits nonzero if vectorized is slower than loop anywhere."
+        ),
+    )
+    b.add_argument(
+        "-o", "--output", default="BENCH_overlap.json", help="trajectory JSON path"
+    )
+    b.add_argument("--workers", type=int, default=4, help="process-engine worker count")
+    b.add_argument("--subsets", type=int, default=4, help="read-subset count")
+    b.add_argument(
+        "--datasets",
+        nargs="*",
+        help="subset of dataset names to run (default: all of D1-D3)",
+    )
 
     p = sub.add_parser(
         "lint",
@@ -80,8 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
             "AST checks for the simulated-MPI programming model: "
             "MPI001 collective-symmetry, MPI002 reserved-tag, "
             "MPI003 mutate-after-send, DET001 unseeded-rng, "
-            "PERF001 untimed-compute.  Suppress per line with "
-            "`# noqa: RULEID`."
+            "PERF001 untimed-compute, PERF002 scalarized-hot-loop.  "
+            "Suppress per line with `# noqa: RULEID`."
         ),
     )
     p.add_argument(
@@ -166,6 +221,7 @@ def _cmd_assemble(args) -> int:
         n_partitions=args.partitions,
         partition_mode=args.mode,
         overlap=OverlapConfig(min_overlap=args.min_overlap, min_identity=args.min_identity),
+        overlap_workers=args.workers,
         seed=args.seed,
     )
     result = FocusAssembler(config).assemble(reads)
@@ -180,6 +236,56 @@ def _cmd_assemble(args) -> int:
         f"(N50 {s.n50:,} bp, max {s.max_contig:,} bp) -> {args.output}"
     )
     return 0
+
+
+def _cmd_overlap(args) -> int:
+    import time
+
+    from repro.align.overlapper import OverlapConfig, OverlapDetector
+
+    reads = _load_reads(args.reads)
+    if len(reads) == 0:
+        print("error: no reads in input", file=sys.stderr)
+        return 1
+    config = OverlapConfig(
+        min_overlap=args.min_overlap,
+        min_identity=args.min_identity,
+        n_subsets=args.subsets,
+        engine=args.engine,
+    )
+    detector = OverlapDetector(config)
+    t0 = time.perf_counter()
+    if args.workers > 1:
+        overlaps = detector.find_overlaps_processes(reads, args.workers)
+    else:
+        overlaps = detector.find_overlaps(reads)
+    wall = time.perf_counter() - t0
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write("query\tref\tq_start\tr_start\tlength\tidentity\tkind\n")
+        for o in overlaps:
+            fh.write(
+                f"{o.query}\t{o.ref}\t{o.q_start}\t{o.r_start}\t"
+                f"{o.length}\t{o.identity:.6f}\t{o.kind.value}\n"
+            )
+    mode = f"{args.workers} workers" if args.workers > 1 else f"serial/{args.engine}"
+    print(
+        f"found {len(overlaps):,} overlaps in {len(reads):,} reads "
+        f"({mode}, {wall:.2f}s) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.bench_command == "overlap":
+        from repro.bench.overlap_bench import main as bench_overlap_main
+
+        return bench_overlap_main(
+            output=args.output,
+            workers=args.workers,
+            n_subsets=args.subsets,
+            dataset_names=args.datasets,
+        )
+    raise AssertionError(f"unknown bench command {args.bench_command!r}")
 
 
 def _cmd_stats(args) -> int:
@@ -211,7 +317,9 @@ _COMMANDS = {
     "simulate-reads": _cmd_simulate_reads,
     "simulate-community": _cmd_simulate_community,
     "assemble": _cmd_assemble,
+    "overlap": _cmd_overlap,
     "stats": _cmd_stats,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
 }
 

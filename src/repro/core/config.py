@@ -37,6 +37,10 @@ class AssemblyConfig:
     coarsen: CoarsenConfig = field(default_factory=CoarsenConfig)
     partition: PartitionConfig = field(default_factory=PartitionConfig)
 
+    #: OS worker processes for the alignment stage (0/1 = in-process
+    #: serial; N > 1 farms subset pairs to a ProcessPoolExecutor).
+    overlap_workers: int = 0
+
     # -- graph construction --
     #: offset slack allowed in cluster layouts (0 = exact diagonals).
     layout_tolerance: int = 0
@@ -65,3 +69,5 @@ class AssemblyConfig:
             raise ValueError(f"unknown partition_mode {self.partition_mode!r}")
         if self.min_read_length < 1:
             raise ValueError("min_read_length must be positive")
+        if self.overlap_workers < 0:
+            raise ValueError("overlap_workers must be non-negative")

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.io.readset import ReadSet
-from repro.sequence.kmers import canonical_kmer_codes
 
 __all__ = ["KmerSpectrum"]
 
@@ -22,11 +21,10 @@ class KmerSpectrum:
         if k < 1:
             raise ValueError("k must be positive")
         self.k = k
-        parts = []
-        for i in range(len(reads)):
-            vals = canonical_kmer_codes(reads.codes_of(i), k)
-            parts.append(vals[vals >= 0])
-        allvals = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        # One bulk pass over the set's cached canonical k-mer codes
+        # (shared with any alignment pass over the same ReadSet).
+        vals, _, _ = reads.kmer_table(k, canonical=True)
+        allvals = vals[vals >= 0]
         self.kmers, self.counts = (
             np.unique(allvals, return_counts=True)
             if allvals.size

@@ -4,6 +4,15 @@ Reads are stored as one concatenated ``uint8`` code array plus an
 ``int64`` offsets array (CSR-style ragged layout), which keeps the
 memory footprint flat and lets alignment kernels slice views instead of
 copying per-read arrays.
+
+The same layout powers the per-set **k-mer code cache**: packing the
+whole concatenated code array once per k yields every read's k-mer
+values as slices of a single array (windows that straddle a read
+boundary exist in the cache but are never exposed), so the alignment
+index build, the query path, and the correction spectrum all share one
+packing pass instead of re-packing per read per consumer.  The cache
+costs 8 bytes per base per (k, canonical) combination — see
+docs/performance.md for the trade-off.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ import numpy as np
 
 from repro.io.records import Read
 from repro.sequence.dna import decode
+from repro.sequence.kmers import canonical_kmer_codes, kmer_codes
 from repro.sequence.quality import trim_read
 
 __all__ = ["ReadSet"]
@@ -42,6 +52,17 @@ class ReadSet:
             self.data[lo:hi] = r.codes
             if self.quals is not None and r.quals is not None:
                 self.quals[lo:hi] = r.quals
+        #: packed k-mer values of ``data``, keyed (k, canonical); lazy.
+        self._kmer_cache: dict[tuple[int, bool], np.ndarray] = {}
+
+    def __getstate__(self) -> dict:
+        # The k-mer cache is derived data and can be large (8 bytes per
+        # base per entry): drop it so pickling a ReadSet — e.g. shipping
+        # it to ProcessPoolExecutor workers — stays cheap.  Workers
+        # rebuild it lazily on first use.
+        state = self.__dict__.copy()
+        state["_kmer_cache"] = {}
+        return state
 
     # -- construction ---------------------------------------------------
 
@@ -91,6 +112,70 @@ class ReadSet:
     @property
     def total_bases(self) -> int:
         return int(self.offsets[-1])
+
+    # -- k-mer code cache -------------------------------------------------
+
+    def packed_kmers(self, k: int, canonical: bool = False) -> np.ndarray:
+        """Packed k-mer values of the whole concatenated code array.
+
+        Computed once per ``(k, canonical)`` and cached (read-only view;
+        the container is immutable).  Entry ``p`` is the window starting
+        at absolute position ``p`` of :attr:`data`; windows that straddle
+        a read boundary are present but meaningless — callers must slice
+        through :meth:`kmer_codes_of` / :meth:`kmer_table`, which never
+        expose them.
+        """
+        key = (int(k), bool(canonical))
+        cached = self._kmer_cache.get(key)
+        if cached is None:
+            packer = canonical_kmer_codes if canonical else kmer_codes
+            cached = packer(self.data, k)
+            cached.setflags(write=False)
+            self._kmer_cache[key] = cached
+        return cached
+
+    def kmer_codes_of(self, i: int, k: int, canonical: bool = False) -> np.ndarray:
+        """Packed k-mer values of read ``i`` (cache-backed view).
+
+        Equal to ``kmer_codes(self.codes_of(i), k)`` (length
+        ``len_i - k + 1``, invalid windows -1) but computed via the
+        per-set cache, so repeated callers never re-pack the read.
+        """
+        lo = int(self.offsets[i])
+        hi = int(self.offsets[i + 1]) - k + 1
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        return self.packed_kmers(k, canonical)[lo:hi]
+
+    def kmer_table(
+        self,
+        k: int,
+        read_indices: np.ndarray | None = None,
+        canonical: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All k-mer windows of the given reads in one flat table.
+
+        Returns parallel ``int64`` arrays ``(values, read_ids,
+        offsets)``: the packed value of every window (invalid windows
+        -1), the read it belongs to, and its offset within that read —
+        reads in ``read_indices`` order, windows in position order.
+        This is the bulk primitive behind the k-mer index build and the
+        whole-subset query pass; no per-read Python loop.
+        """
+        if read_indices is None:
+            idx = np.arange(len(self), dtype=np.int64)
+        else:
+            idx = np.asarray(read_indices, dtype=np.int64)
+        n_windows = np.maximum(self.offsets[idx + 1] - self.offsets[idx] - k + 1, 0)
+        total = int(n_windows.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        read_ids = np.repeat(idx, n_windows)
+        group_starts = np.cumsum(n_windows) - n_windows
+        within = np.arange(total, dtype=np.int64) - np.repeat(group_starts, n_windows)
+        flat = np.repeat(self.offsets[idx], n_windows) + within
+        return self.packed_kmers(k, canonical)[flat], read_ids, within
 
     # -- preprocessing ---------------------------------------------------
 

@@ -1,12 +1,17 @@
-"""PERF001: compute loops outside the virtual clock.
+"""Performance rules: PERF001 untimed compute, PERF002 scalarized hot loop.
 
-In a rank function every nontrivial compute block must run under
-``with comm.timed():`` (or account itself via ``comm.advance``) — work
-done outside the clock is free in model time, which silently *inflates*
-the speedup curves the benchmarks exist to reproduce.  The rule flags
-``for``/``while`` loops in communicator-taking functions that neither
-run under ``timed()`` nor touch the communicator in their body
-(a loop that sends/receives is communication, not untimed compute).
+PERF001 — in a rank function every nontrivial compute block must run
+under ``with comm.timed():`` (or account itself via ``comm.advance``) —
+work done outside the clock is free in model time, which silently
+*inflates* the speedup curves the benchmarks exist to reproduce.  The
+rule flags ``for``/``while`` loops in communicator-taking functions
+that neither run under ``timed()`` nor touch the communicator in their
+body (a loop that sends/receives is communication, not untimed compute).
+
+PERF002 — the alignment hot path (``src/repro/align/``) is batch
+vectorized; iterating ``.tolist()`` output in an overlap/candidate
+function reintroduces a per-element Python loop on the innermost path,
+exactly the scalarization the vectorized engine removed.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from repro.lint.context import FileContext, comm_param_name, references_name
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import Rule, register
 
-__all__ = ["UntimedComputeLoop"]
+__all__ = ["UntimedComputeLoop", "ScalarizedHotLoop"]
 
 
 def _is_timed_with(node: ast.AST, comm: str) -> bool:
@@ -68,3 +73,49 @@ class UntimedComputeLoop(Rule):
                     )
                     continue  # do not re-flag nested loops of the same block
             yield from self._scan(ctx, child, comm)
+
+
+def _is_hot_function(name: str) -> bool:
+    """Functions that sit on the overlap hot path by naming convention."""
+    return name.startswith("overlap_") or name == "_candidates" or name.endswith(
+        "_candidates"
+    )
+
+
+def _iter_calls_tolist(node: ast.expr) -> bool:
+    """True when the expression contains a ``.tolist()`` call."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "tolist"
+        ):
+            return True
+    return False
+
+
+@register
+class ScalarizedHotLoop(Rule):
+    id = "PERF002"
+    severity = Severity.WARNING
+    summary = "per-element `for ... in ....tolist()` loop on the overlap hot path"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        path = ctx.path.replace("\\", "/")
+        if "repro/align/" not in path:
+            return
+        for func in ctx.functions():
+            if not _is_hot_function(func.name):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, (ast.For, ast.AsyncFor)) and _iter_calls_tolist(
+                    node.iter
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "hot-path function iterates `.tolist()` element by "
+                        "element — batch the work with array operations (see "
+                        "the vectorized overlap engine), or mark a deliberate "
+                        "scalar fallback with `# noqa: PERF002`",
+                    )

@@ -1,0 +1,24 @@
+"""Real (OS-process) parallel execution of assembly work units.
+
+The simulated-MPI layer (``repro.mpi``) models a cluster on threads and
+a virtual clock; this package runs the same independent work units on
+actual cores via :class:`concurrent.futures.ProcessPoolExecutor`.  Both
+layers share the scheduling helpers in :mod:`repro.parallel.schedule`.
+"""
+
+from repro.parallel.schedule import (
+    assignment_imbalance,
+    lpt_assignment,
+    round_robin_assignment,
+    subset_pair_costs,
+)
+from repro.parallel.executor import ExecutorStats, run_subset_pairs
+
+__all__ = [
+    "subset_pair_costs",
+    "lpt_assignment",
+    "round_robin_assignment",
+    "assignment_imbalance",
+    "run_subset_pairs",
+    "ExecutorStats",
+]

@@ -1,0 +1,85 @@
+"""Property test: all four overlap execution paths agree exactly.
+
+The legacy per-query loop, the batch-vectorized engine, the
+multiprocess driver, and the simulated-cluster driver must return
+identical overlap sets for any read set and either reference index.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.overlapper import OverlapConfig, OverlapDetector
+from repro.io.readset import ReadSet
+from repro.mpi.cluster import SimCluster
+from repro.mpi.timing import CommCostModel
+from repro.sequence.dna import decode
+from repro.simulate.genome import random_genome
+
+FAST = CommCostModel(alpha=1e-6, beta=1e-9)
+
+
+@st.composite
+def genome_readsets(draw):
+    """Read sets of overlapping substrings of one random genome."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    genome_len = draw(st.integers(min_value=150, max_value=400))
+    genome = random_genome(genome_len, np.random.default_rng(seed))
+    n_reads = draw(st.integers(min_value=0, max_value=14))
+    seqs = []
+    for _ in range(n_reads):
+        length = draw(st.integers(min_value=30, max_value=min(130, genome_len)))
+        start = draw(st.integers(min_value=0, max_value=genome_len - length))
+        seqs.append(decode(genome[start : start + length]))
+    return ReadSet.from_strings(seqs)
+
+
+def overlap_keys(overlaps):
+    return sorted(
+        (o.query, o.ref, o.q_start, o.r_start, o.length, o.identity, o.kind.value)
+        for o in overlaps
+    )
+
+
+@pytest.mark.parametrize("index", ["kmer", "suffix_array"])
+class TestEngineEquivalence:
+    @settings(max_examples=5, deadline=None)
+    @given(reads=genome_readsets(), n_subsets=st.integers(min_value=1, max_value=3))
+    def test_all_paths_identical(self, index, reads, n_subsets):
+        base = OverlapConfig(
+            min_overlap=25, min_kmer_hits=2, n_subsets=n_subsets, index=index
+        )
+        vectorized = OverlapDetector(base).find_overlaps(reads)
+        loop = OverlapDetector(
+            OverlapConfig(
+                min_overlap=25, min_kmer_hits=2, n_subsets=n_subsets,
+                index=index, engine="loop",
+            )
+        ).find_overlaps(reads)
+        processes = OverlapDetector(base).find_overlaps_processes(reads, n_workers=2)
+        cluster_results, _ = SimCluster(2, cost_model=FAST).run(
+            OverlapDetector(base).find_overlaps_parallel, reads
+        )
+        expected = overlap_keys(vectorized)
+        assert overlap_keys(loop) == expected
+        assert overlap_keys(processes) == expected
+        assert overlap_keys(cluster_results[0]) == expected
+
+    @settings(max_examples=3, deadline=None)
+    @given(reads=genome_readsets())
+    def test_banded_nw_method_paths_agree(self, index, reads):
+        # The gapped-verification fallback runs per candidate in every
+        # engine; the batched span selection feeding it must still agree.
+        configs = {
+            engine: OverlapConfig(
+                min_overlap=25, min_kmer_hits=2, method="banded_nw",
+                index=index, engine=engine,
+            )
+            for engine in ("vectorized", "loop")
+        }
+        results = {
+            engine: OverlapDetector(cfg).find_overlaps(reads)
+            for engine, cfg in configs.items()
+        }
+        assert overlap_keys(results["vectorized"]) == overlap_keys(results["loop"])

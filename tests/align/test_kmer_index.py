@@ -72,6 +72,34 @@ class TestKmerIndex:
         qpos, _, _ = idx.lookup(np.array([5]))
         assert qpos.size == 0
 
+    def test_lookup_dtypes_int64(self):
+        # Regression: the expansion index must be int64, not the
+        # platform default — downstream composite-key sorts assume it.
+        rs = ReadSet.from_strings(["ACGTACGT", "TACGTACG"])
+        idx = KmerIndex(rs, 4)
+        vals = kmer_codes(encode("ACGTACGTAC"), 4)
+        qpos, hit_reads, hit_offsets = idx.lookup(vals)
+        assert qpos.size > 0
+        assert qpos.dtype == np.int64
+        assert hit_reads.dtype == np.int64
+        assert hit_offsets.dtype == np.int64
+
+    def test_large_batch_lookup_matches_small(self):
+        # The unique-compression fast path (big batches) must return
+        # exactly what the direct searchsorted path returns.
+        rng = np.random.default_rng(5)
+        rs = ReadSet.from_strings(
+            ["".join(rng.choice(list("ACGT"), 60)) for _ in range(20)]
+        )
+        idx = KmerIndex(rs, 7)
+        vals = rs.packed_kmers(7)  # includes boundary windows; lookup filters
+        big = idx.lookup(np.tile(vals, 50))  # force the compressed branch
+        small = idx.lookup(vals)
+        n = small[0].size
+        assert big[0].size == 50 * n
+        for b_arr, s_arr in zip(big, small):
+            assert (b_arr[:n] == s_arr).all()
+
     def test_lookup_query_positions_align(self):
         # query read with known shared k-mer at a known offset
         rs = ReadSet.from_strings(["TTTTACGTAC"])

@@ -1,0 +1,105 @@
+"""Tests for the overlap-engine benchmark harness."""
+
+import json
+
+from repro.bench.datasets import DatasetSpec, build_dataset
+from repro.bench.overlap_bench import (
+    SCHEMA,
+    OverlapBenchRecord,
+    OverlapBenchReport,
+    bench_dataset,
+    regression_failures,
+)
+from repro.simulate.community import GUT_GENERA, CommunityConfig
+from repro.simulate.reads import ReadSimConfig
+
+TINY = DatasetSpec(
+    name="tiny",
+    seed=9,
+    community=CommunityConfig(
+        taxa=GUT_GENERA[:2], shared_length=400, private_length=300, repeat_copies=0
+    ),
+    reads=ReadSimConfig(read_length=100, coverage=4.0),
+)
+
+
+def rec(dataset, engine, wall):
+    return OverlapBenchRecord(
+        dataset=dataset,
+        engine=engine,
+        wall_s=wall,
+        reads_per_s=100.0,
+        candidates_verified=10,
+        overlaps_found=5,
+    )
+
+
+class TestBenchDataset:
+    def test_records_and_agreement(self):
+        records, agree = bench_dataset(build_dataset(TINY), workers=2, n_subsets=2)
+        assert agree
+        assert [r.engine for r in records] == ["loop", "vectorized", "process"]
+        loop, vec, proc = records
+        assert loop.dataset == "tiny"
+        assert loop.overlaps_found == vec.overlaps_found == proc.overlaps_found
+        assert loop.candidates_verified == vec.candidates_verified
+        assert proc.workers == 2
+        assert all(r.wall_s > 0 and r.reads_per_s > 0 for r in records)
+
+
+class TestReport:
+    def test_json_schema(self, tmp_path):
+        report = OverlapBenchReport(
+            records=[rec("D1", "loop", 2.0), rec("D1", "vectorized", 0.5)],
+            metadata={"cpu_count": 1},
+        )
+        path = tmp_path / "bench.json"
+        report.write(str(path))
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA
+        assert data["metadata"]["cpu_count"] == 1
+        assert len(data["results"]) == 2
+        assert set(data["results"][0]) == {
+            "dataset",
+            "engine",
+            "wall_s",
+            "reads_per_s",
+            "candidates_verified",
+            "overlaps_found",
+            "workers",
+        }
+
+    def test_summary_table_has_speedup_column(self):
+        report = OverlapBenchReport(
+            records=[rec("D1", "loop", 2.0), rec("D1", "vectorized", 0.5)]
+        )
+        table = report.summary_table()
+        assert "vs loop" in table
+        assert "4.00x" in table
+
+
+class TestRegressionGate:
+    def test_faster_vectorized_passes(self):
+        records = [rec("D1", "loop", 2.0), rec("D1", "vectorized", 0.5)]
+        assert regression_failures(records) == []
+
+    def test_slower_vectorized_fails(self):
+        records = [
+            rec("D1", "loop", 2.0),
+            rec("D1", "vectorized", 0.5),
+            rec("D2", "loop", 1.0),
+            rec("D2", "vectorized", 3.0),
+        ]
+        failures = regression_failures(records)
+        assert len(failures) == 1
+        assert failures[0].startswith("D2")
+
+    def test_process_rows_exempt(self):
+        # The process engine may legitimately be slower on few-core
+        # hosts; only the serial vectorized-vs-loop ratio gates.
+        records = [
+            rec("D1", "loop", 2.0),
+            rec("D1", "vectorized", 0.5),
+            rec("D1", "process", 9.0),
+        ]
+        assert regression_failures(records) == []

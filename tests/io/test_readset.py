@@ -1,5 +1,7 @@
 """Unit + property tests for the columnar ReadSet container."""
 
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given
@@ -7,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.io.records import Read
 from repro.io.readset import ReadSet
+from repro.sequence.kmers import canonical_kmer_codes, kmer_codes
 
 seq_lists = st.lists(st.text(alphabet="ACGT", min_size=1, max_size=40), min_size=0, max_size=25)
 
@@ -102,3 +105,60 @@ class TestSplit:
         rs = ReadSet.from_strings(["AA", "CC", "GG"])
         sub = rs.subset(np.array([2, 0]))
         assert [sub.sequence_of(i) for i in range(2)] == ["GG", "AA"]
+
+
+class TestKmerCache:
+    def test_kmer_codes_of_matches_direct(self):
+        rs = ReadSet.from_strings(["ACGTACGT", "TTT", "GATTACA"])
+        for i in range(len(rs)):
+            expected = kmer_codes(rs.codes_of(i), 4)
+            assert rs.kmer_codes_of(i, 4).tolist() == expected.tolist()
+
+    def test_kmer_codes_of_canonical(self):
+        rs = ReadSet.from_strings(["ACGTACGT", "GATTACA"])
+        for i in range(len(rs)):
+            expected = canonical_kmer_codes(rs.codes_of(i), 5)
+            assert rs.kmer_codes_of(i, 5, canonical=True).tolist() == expected.tolist()
+
+    def test_read_shorter_than_k_is_empty(self):
+        rs = ReadSet.from_strings(["AC", "ACGT"])
+        assert rs.kmer_codes_of(0, 3).size == 0
+        assert rs.kmer_codes_of(1, 3).size == 2
+
+    def test_packed_kmers_cached_and_readonly(self):
+        rs = ReadSet.from_strings(["ACGTACGT"])
+        a = rs.packed_kmers(4)
+        assert rs.packed_kmers(4) is a  # second call hits the cache
+        assert not a.flags.writeable
+        assert rs.packed_kmers(4, canonical=True) is not a  # distinct entry
+
+    def test_kmer_table_matches_per_read(self):
+        rs = ReadSet.from_strings(["ACGTACGT", "TT", "GATTACAGATT"])
+        vals, read_ids, offsets = rs.kmer_table(4)
+        rows = []
+        for i in range(len(rs)):
+            codes = kmer_codes(rs.codes_of(i), 4)
+            rows.extend((i, off, v) for off, v in enumerate(codes.tolist()))
+        got = list(zip(read_ids.tolist(), offsets.tolist(), vals.tolist()))
+        assert got == rows
+        assert vals.dtype == read_ids.dtype == offsets.dtype == np.int64
+
+    def test_kmer_table_subset(self):
+        rs = ReadSet.from_strings(["ACGTACGT", "TTTTT", "GATTACA"])
+        vals, read_ids, offsets = rs.kmer_table(4, read_indices=np.array([2, 0]))
+        assert set(read_ids.tolist()) == {0, 2}
+        # subset order is respected: read 2's windows come first
+        assert read_ids.tolist() == sorted(read_ids.tolist(), key=[2, 0].index)
+        direct = kmer_codes(rs.codes_of(2), 4)
+        n2 = direct.size
+        assert vals[:n2].tolist() == direct.tolist()
+        assert offsets[:n2].tolist() == list(range(n2))
+
+    def test_pickle_drops_cache(self):
+        rs = ReadSet.from_strings(["ACGTACGT", "GATTACA"])
+        rs.packed_kmers(4)
+        assert rs._kmer_cache
+        clone = pickle.loads(pickle.dumps(rs))
+        assert clone._kmer_cache == {}
+        # and the clone still answers correctly, rebuilding lazily
+        assert clone.kmer_codes_of(0, 4).tolist() == rs.kmer_codes_of(0, 4).tolist()

@@ -1,4 +1,4 @@
-"""True-positive / true-negative fixtures for PERF001."""
+"""True-positive / true-negative fixtures for PERF001 and PERF002."""
 
 import textwrap
 
@@ -8,6 +8,12 @@ from repro.lint import Severity, lint_source, select_rules
 def findings(src):
     return lint_source(
         textwrap.dedent(src), path="fixture.py", rules=select_rules(["PERF001"])
+    )
+
+
+def perf2_findings(src, path="src/repro/align/fixture.py"):
+    return lint_source(
+        textwrap.dedent(src), path=path, rules=select_rules(["PERF002"])
     )
 
 
@@ -88,6 +94,83 @@ class TestPERF001UntimedCompute:
                 for x in items:
                     total += x
                 return total
+            """
+        )
+        assert fs == []
+
+
+SCALARIZED = """
+def overlap_subset_pair(self, reads, q_idx, r_idx):
+    out = []
+    for q in q_idx.tolist():
+        out.append(q)
+    return out
+"""
+
+
+class TestPERF002ScalarizedHotLoop:
+    def test_tolist_loop_in_hot_function_flagged(self):
+        fs = perf2_findings(SCALARIZED)
+        assert len(fs) == 1
+        assert fs[0].rule == "PERF002"
+        assert fs[0].severity is Severity.WARNING
+        assert "tolist" in fs[0].message
+
+    def test_wrapped_iter_expression_flagged(self):
+        fs = perf2_findings(
+            """
+            import numpy as np
+            def _candidates(self, arr):
+                for q in np.asarray(arr).tolist():
+                    yield q
+            """
+        )
+        assert len(fs) == 1
+
+    def test_candidates_suffix_flagged(self):
+        fs = perf2_findings(
+            """
+            def _pair_candidates(self, arr):
+                for q in arr.tolist():
+                    yield q
+            """
+        )
+        assert len(fs) == 1
+
+    def test_outside_align_package_clean(self):
+        fs = perf2_findings(SCALARIZED, path="src/repro/graph/fixture.py")
+        assert fs == []
+
+    def test_windows_path_separators_normalized(self):
+        fs = perf2_findings(SCALARIZED, path="src\\repro\\align\\fixture.py")
+        assert len(fs) == 1
+
+    def test_non_hot_function_clean(self):
+        fs = perf2_findings(
+            """
+            def merge_results(self, parts):
+                for p in parts.tolist():
+                    yield p
+            """
+        )
+        assert fs == []
+
+    def test_loop_without_tolist_clean(self):
+        fs = perf2_findings(
+            """
+            def overlap_subset_pair(self, pairs):
+                for i, j in pairs:
+                    yield i + j
+            """
+        )
+        assert fs == []
+
+    def test_noqa_suppresses(self):
+        fs = perf2_findings(
+            """
+            def overlap_subset_pair_loop(self, q_idx):
+                for q in q_idx.tolist():  # noqa: PERF002 - legacy engine
+                    yield q
             """
         )
         assert fs == []
