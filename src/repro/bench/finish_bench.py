@@ -1,0 +1,298 @@
+"""Perf-trajectory benchmark for the finish stages (``repro bench finish``).
+
+Times the distributed graph stages (transitive reduction, containment
+removal, dead-end/bubble trimming, traversal) on the standard D1/D2
+datasets across partition counts and all three execution backends —
+``serial`` (in-process loop), ``sim`` (simulated MPI cluster, virtual
+clocks), and ``process`` (real OS workers) — verifies every backend
+produces byte-identical contigs, and writes the machine-readable
+trajectory to ``BENCH_finish.json``.
+
+The JSON is the repo's durable performance record for the finish
+pipeline, the companion of ``BENCH_overlap.json`` for the alignment
+stage.  Two gates are wired for CI:
+
+* **Equivalence** (exit 2): the backends must agree on contigs for
+  every (dataset, partitions) cell — this is the correctness contract
+  of the kernel/merge split and is enforced unconditionally.
+* **Process regression** (exit 1): at >= ``PROCESS_GATE_PARTITIONS``
+  partitions the process backend must not be slower than the serial
+  loop on the distributed stages.  Real parallel speedup needs real
+  cores, so this gate is only *enforced* when the host has at least
+  ``PROCESS_GATE_MIN_CORES`` CPUs; on single-core hosts (like the CI
+  container that produced the checked-in trajectory — see the
+  ``cpu_count`` metadata) the comparison is still recorded but the
+  gate reports itself skipped, exactly as the process engine rows in
+  ``BENCH_overlap.json`` are recorded but ungated.
+
+See docs/performance.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.bench.datasets import BenchDataset, standard_datasets
+from repro.bench.reporting import format_table
+from repro.core.config import AssemblyConfig
+from repro.core.focus import FocusAssembler
+
+__all__ = [
+    "FinishBenchRecord",
+    "FinishBenchReport",
+    "bench_dataset",
+    "run_finish_bench",
+    "regression_failures",
+    "process_gate_enforced",
+    "main",
+]
+
+#: schema of one record in ``BENCH_finish.json``; bump when fields change.
+SCHEMA = "repro.bench.finish/v1"
+
+DEFAULT_OUTPUT = "BENCH_finish.json"
+DEFAULT_DATASETS = ("D1", "D2")
+DEFAULT_PARTITIONS = (4, 8)
+BACKENDS = ("serial", "sim", "process")
+
+#: the process-vs-serial gate kicks in at this partition count ...
+PROCESS_GATE_PARTITIONS = 4
+#: ... but only on hosts with at least this many cores (a fork pool on
+#: one core can only ever add overhead, never speedup).
+PROCESS_GATE_MIN_CORES = 2
+
+
+@dataclass(frozen=True)
+class FinishBenchRecord:
+    """One (dataset, partitions, backend) timing measurement."""
+
+    dataset: str
+    backend: str
+    partitions: int
+    #: distributed-stage seconds (trim + traversal), best of ``repeats``.
+    stage_s: float
+    #: clock of ``stage_s``: "wall" (serial/process) or "virtual" (sim).
+    time_kind: str
+    #: per-stage breakdown on the same clock.
+    stages: dict[str, float]
+    n_contigs: int
+    n50: int
+    workers: int = 1
+
+
+@dataclass
+class FinishBenchReport:
+    """A full bench run: records plus environment metadata."""
+
+    records: list[FinishBenchRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "schema": SCHEMA,
+                "metadata": self.metadata,
+                "results": [asdict(r) for r in self.records],
+            },
+            indent=2,
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def summary_table(self) -> str:
+        serial_wall = {
+            (r.dataset, r.partitions): r.stage_s
+            for r in self.records
+            if r.backend == "serial"
+        }
+        rows = []
+        for r in self.records:
+            base = serial_wall.get((r.dataset, r.partitions))
+            speedup = f"{base / r.stage_s:.2f}x" if base and r.stage_s > 0 else "-"
+            rows.append(
+                [
+                    r.dataset,
+                    r.partitions,
+                    r.backend,
+                    f"{r.stage_s:.3f}",
+                    r.time_kind,
+                    r.n_contigs,
+                    r.n50,
+                    speedup,
+                ]
+            )
+        return format_table(
+            ["Dataset", "k", "Backend", "Stage (s)", "Clock", "Contigs", "N50", "vs serial"],
+            rows,
+        )
+
+
+def _stage_total(stage_times: dict[str, float]) -> float:
+    """Sum of the distributed stages, skipping the trim_total rollup."""
+    return sum(v for k, v in stage_times.items() if k != "trim_total")
+
+
+def _contig_key(contigs: list[np.ndarray]) -> list[bytes]:
+    return sorted(c.tobytes() for c in contigs)
+
+
+def bench_dataset(
+    dataset: BenchDataset,
+    partitions: tuple[int, ...] = DEFAULT_PARTITIONS,
+    workers: int = 0,
+    repeats: int = 2,
+) -> tuple[list[FinishBenchRecord], bool]:
+    """Time every backend on one dataset across partition counts.
+
+    ``prepare`` (preprocess/align/graph build) runs once; each
+    (partitions, backend) cell then re-runs ``finish`` ``repeats``
+    times and reports its best distributed-stage time.  Returns the
+    records plus an all-backends-agree flag (byte-identical sorted
+    contig sets within every partition count).
+    """
+    config = AssemblyConfig(backend_workers=workers)
+    assembler = FocusAssembler(config)
+    prep = assembler.prepare(dataset.reads)
+
+    records: list[FinishBenchRecord] = []
+    agree = True
+    for k in partitions:
+        keys: list[list[bytes]] = []
+        for backend in BACKENDS:
+            best: FinishBenchRecord | None = None
+            for _ in range(max(1, repeats)):
+                result = assembler.finish(prep, n_partitions=k, backend=backend)
+                stage_s = _stage_total(result.virtual_times)
+                if best is None or stage_s < best.stage_s:
+                    best = FinishBenchRecord(
+                        dataset=dataset.name,
+                        backend=backend,
+                        partitions=k,
+                        stage_s=stage_s,
+                        time_kind=result.time_kind,
+                        stages=dict(result.virtual_times),
+                        n_contigs=result.stats.n_contigs,
+                        n50=result.stats.n50,
+                        workers=workers if backend == "process" else 1,
+                    )
+            assert best is not None
+            records.append(best)
+            keys.append(_contig_key(result.contigs))
+        agree = agree and all(key == keys[0] for key in keys[1:])
+    return records, agree
+
+
+def process_gate_enforced(cpu_count: int | None) -> bool:
+    """Whether the process-vs-serial gate is binding on this host."""
+    return (cpu_count or 1) >= PROCESS_GATE_MIN_CORES
+
+
+def regression_failures(records: list[FinishBenchRecord]) -> list[str]:
+    """Cells where the process backend is slower than the serial loop.
+
+    Pure record comparison — callers decide whether the host has
+    enough cores for the result to gate (see
+    :func:`process_gate_enforced`).
+    """
+    walls: dict[tuple[str, int, str], float] = {
+        (r.dataset, r.partitions, r.backend): r.stage_s for r in records
+    }
+    failures = []
+    for (dataset, k, backend), wall in sorted(walls.items()):
+        if backend != "process" or k < PROCESS_GATE_PARTITIONS:
+            continue
+        serial_wall = walls.get((dataset, k, "serial"))
+        if serial_wall is not None and wall > serial_wall:
+            failures.append(
+                f"{dataset}@k={k}: process ({wall:.3f}s) slower than "
+                f"serial ({serial_wall:.3f}s)"
+            )
+    return failures
+
+
+def run_finish_bench(
+    datasets: list[BenchDataset] | None = None,
+    partitions: tuple[int, ...] = DEFAULT_PARTITIONS,
+    workers: int = 0,
+    repeats: int = 2,
+) -> tuple[FinishBenchReport, bool]:
+    """Bench all backends on all datasets; returns (report, agree)."""
+    if datasets is None:
+        datasets = [
+            d for d in standard_datasets() if d.name in DEFAULT_DATASETS
+        ]
+    cpu_count = os.cpu_count()
+    report = FinishBenchReport(
+        metadata={
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": cpu_count,
+            "workers": workers,
+            "partitions": list(partitions),
+            "repeats": repeats,
+            "process_gate_enforced": process_gate_enforced(cpu_count),
+            "process_gate_min_cores": PROCESS_GATE_MIN_CORES,
+        }
+    )
+    agree = True
+    for dataset in datasets:
+        records, dataset_agree = bench_dataset(
+            dataset, partitions=partitions, workers=workers, repeats=repeats
+        )
+        report.records.extend(records)
+        agree = agree and dataset_agree
+    return report, agree
+
+
+def main(
+    output: str = DEFAULT_OUTPUT,
+    workers: int = 0,
+    partitions: tuple[int, ...] = DEFAULT_PARTITIONS,
+    dataset_names: list[str] | None = None,
+    stream=None,
+) -> int:
+    """CLI entry point for ``repro bench finish``.
+
+    Exit codes: 0 ok; 1 process slower than serial at gated partition
+    counts on a multi-core host; 2 backends disagreed on contigs
+    (results written either way).  On single-core hosts the process
+    gate is recorded but not enforced.
+    """
+    stream = stream or sys.stdout
+    datasets = standard_datasets()
+    wanted = set(dataset_names) if dataset_names else set(DEFAULT_DATASETS)
+    unknown = wanted - {d.name for d in datasets}
+    if unknown:
+        print(f"error: unknown datasets {sorted(unknown)}", file=sys.stderr)
+        return 2
+    datasets = [d for d in datasets if d.name in wanted]
+    report, agree = run_finish_bench(
+        datasets, partitions=partitions, workers=workers
+    )
+    report.write(output)
+    print(report.summary_table(), file=stream)
+    print(f"wrote {len(report.records)} records to {output}", file=stream)
+    if not agree:
+        print("FAIL: backends disagree on contigs", file=stream)
+        return 2
+    failures = regression_failures(report.records)
+    if failures:
+        if process_gate_enforced(os.cpu_count()):
+            print("FAIL: " + "; ".join(failures), file=stream)
+            return 1
+        print(
+            "note: process gate skipped (single-core host): "
+            + "; ".join(failures),
+            file=stream,
+        )
+    return 0

@@ -7,7 +7,9 @@ Usage examples::
     python -m repro simulate-community --seed 7 --coverage 8 -o reads.fastq --refs refs.fasta
     python -m repro overlap reads.fastq -o overlaps.tsv --workers 4
     python -m repro assemble reads.fastq -o contigs.fasta --partitions 4 --workers 4
+    python -m repro assemble reads.fastq -o contigs.fasta --backend process --timings t.json
     python -m repro bench overlap -o BENCH_overlap.json
+    python -m repro bench finish -o BENCH_finish.json
     python -m repro stats contigs.fasta
 """
 
@@ -76,6 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker processes for the alignment stage (0/1 = serial)",
     )
+    p.add_argument(
+        "--backend",
+        choices=("serial", "sim", "process"),
+        default="sim",
+        help="execution backend for the distributed graph stages: "
+        "in-process serial loop, simulated MPI cluster (virtual "
+        "clocks, the paper's figures), or real OS processes",
+    )
+    p.add_argument(
+        "--backend-workers",
+        type=int,
+        default=0,
+        help="worker processes for --backend process (0 = one per partition)",
+    )
+    p.add_argument(
+        "--timings",
+        metavar="PATH",
+        help="write per-stage durations as JSON (tagged with the backend "
+        "and whether distributed-stage times are wall or virtual)",
+    )
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
@@ -127,6 +149,39 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="subset of dataset names to run (default: all of D1-D3)",
     )
+    b = bench_sub.add_parser(
+        "finish",
+        help="time the distributed finish stages across backends",
+        description=(
+            "Times the distributed graph stages (trim + traversal) on "
+            "D1/D2 across partition counts on the serial, sim, and "
+            "process backends, verifies byte-identical contigs, and "
+            "writes the trajectory JSON.  Exits nonzero if the backends "
+            "disagree, or (on multi-core hosts) if the process backend "
+            "is slower than serial at >= 4 partitions."
+        ),
+    )
+    b.add_argument(
+        "-o", "--output", default="BENCH_finish.json", help="trajectory JSON path"
+    )
+    b.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-backend worker count (0 = one per partition)",
+    )
+    b.add_argument(
+        "--partitions",
+        type=int,
+        nargs="*",
+        default=[4, 8],
+        help="partition counts to sweep (powers of two)",
+    )
+    b.add_argument(
+        "--datasets",
+        nargs="*",
+        help="subset of dataset names to run (default: D1 D2)",
+    )
 
     p = sub.add_parser(
         "lint",
@@ -135,7 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
             "AST checks for the simulated-MPI programming model: "
             "MPI001 collective-symmetry, MPI002 reserved-tag, "
             "MPI003 mutate-after-send, DET001 unseeded-rng, "
-            "PERF001 untimed-compute, PERF002 scalarized-hot-loop.  "
+            "PERF001 untimed-compute, PERF002 scalarized-hot-loop, "
+            "ARCH001 kernel-imports-mpi.  "
             "Suppress per line with `# noqa: RULEID`."
         ),
     )
@@ -222,6 +278,8 @@ def _cmd_assemble(args) -> int:
         partition_mode=args.mode,
         overlap=OverlapConfig(min_overlap=args.min_overlap, min_identity=args.min_identity),
         overlap_workers=args.workers,
+        backend=args.backend,
+        backend_workers=args.backend_workers,
         seed=args.seed,
     )
     result = FocusAssembler(config).assemble(reads)
@@ -229,12 +287,27 @@ def _cmd_assemble(args) -> int:
         Read(f"contig_{i}", c) for i, c in enumerate(result.contigs)
     ]
     write_fasta(contigs, args.output)
+    if args.timings:
+        with open(args.timings, "w", encoding="utf-8") as fh:
+            fh.write(
+                result.timer.to_json(
+                    backend=result.backend,
+                    distributed={
+                        "time_kind": result.time_kind,
+                        "stages": result.virtual_times,
+                    },
+                )
+                + "\n"
+            )
     s = result.stats
     print(result.timer.report())
     print(
         f"assembled {len(reads):,} reads -> {s.n_contigs} contigs "
-        f"(N50 {s.n50:,} bp, max {s.max_contig:,} bp) -> {args.output}"
+        f"(N50 {s.n50:,} bp, max {s.max_contig:,} bp) "
+        f"[{result.backend} backend] -> {args.output}"
     )
+    if args.timings:
+        print(f"wrote stage timings to {args.timings}")
     return 0
 
 
@@ -283,6 +356,15 @@ def _cmd_bench(args) -> int:
             output=args.output,
             workers=args.workers,
             n_subsets=args.subsets,
+            dataset_names=args.datasets,
+        )
+    if args.bench_command == "finish":
+        from repro.bench.finish_bench import main as bench_finish_main
+
+        return bench_finish_main(
+            output=args.output,
+            workers=args.workers,
+            partitions=tuple(args.partitions),
             dataset_names=args.datasets,
         )
     raise AssertionError(f"unknown bench command {args.bench_command!r}")

@@ -41,6 +41,15 @@ class AssemblyConfig:
     #: serial; N > 1 farms subset pairs to a ProcessPoolExecutor).
     overlap_workers: int = 0
 
+    # -- distributed-stage execution --
+    #: execution backend for the distributed graph stages: "serial"
+    #: (in-process loop), "sim" (simulated MPI cluster, virtual clocks
+    #: — the paper's figures), or "process" (real OS processes).
+    backend: str = "sim"
+    #: worker processes for the "process" backend (0 = one per
+    #: partition, capped at the core count).
+    backend_workers: int = 0
+
     # -- graph construction --
     #: offset slack allowed in cluster layouts (0 = exact diagonals).
     layout_tolerance: int = 0
@@ -71,3 +80,7 @@ class AssemblyConfig:
             raise ValueError("min_read_length must be positive")
         if self.overlap_workers < 0:
             raise ValueError("overlap_workers must be non-negative")
+        if self.backend not in ("serial", "sim", "process"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend_workers < 0:
+            raise ValueError("backend_workers must be non-negative")

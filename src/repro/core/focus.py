@@ -3,8 +3,10 @@
 ``FocusAssembler.assemble`` runs the six component steps end to end:
 read preprocessing, read alignment, multilevel graph set generation,
 hybrid graph set generation, hybrid graph trimming, and hybrid graph
-traversal — with the distributed stages executed on the simulated MPI
-cluster over the configured number of graph partitions.
+traversal — with the distributed stages executed over the configured
+number of graph partitions on the configured execution backend
+(``serial`` in-process loop, ``sim``ulated MPI cluster with virtual
+clocks, or real OS ``process`` workers — see docs/architecture.md).
 
 The pipeline is split into :meth:`FocusAssembler.prepare` (everything
 up to and including the hybrid graph — independent of the partition
@@ -23,17 +25,14 @@ from repro.align.overlapper import OverlapDetector
 from repro.core.config import AssemblyConfig
 from repro.core.pipeline import StageTimer
 from repro.core.stats import AssemblyStats
-from repro.distributed.containment import containment_removal
 from repro.distributed.dgraph import DistributedAssemblyGraph, HybridAssembly, enrich_hybrid
-from repro.distributed.transitive import transitive_reduction
-from repro.distributed.traversal import contigs_from_paths, maximal_paths
-from repro.distributed.trimming import pop_bubbles, trim_dead_ends
+from repro.distributed.traversal import contigs_from_paths
 from repro.graph.coarsen import MultilevelGraphSet, build_multilevel_set
 from repro.graph.hybrid import HybridGraphSet, build_hybrid_set
 from repro.graph.overlap_graph import OverlapGraph
 from repro.io.readset import ReadSet
-from repro.mpi.cluster import SimCluster
 from repro.mpi.timing import CommCostModel
+from repro.parallel.backend import create_backend
 from repro.partition.multilevel import (
     PartitionResult,
     partition_via_hybrid,
@@ -103,7 +102,8 @@ class AssemblyResult:
     contigs: list[np.ndarray]
     stats: AssemblyStats
     timer: StageTimer
-    #: virtual (simulated-cluster) seconds per distributed stage.
+    #: per-distributed-stage seconds on the backend's clock — virtual
+    #: (simulated-cluster) for the "sim" backend, wall otherwise.
     virtual_times: dict[str, float]
     processed_reads: ReadSet
     g0: OverlapGraph
@@ -113,6 +113,15 @@ class AssemblyResult:
     dag: DistributedAssemblyGraph
     partition: PartitionResult
     paths: list[list[int]] = field(default_factory=list)
+    #: execution backend the distributed stages ran on.
+    backend: str = "sim"
+    #: clock kind of ``virtual_times``: "virtual" or "wall".
+    time_kind: str = "virtual"
+
+    @property
+    def stage_times(self) -> dict[str, float]:
+        """Alias for :attr:`virtual_times` (clock kind in ``time_kind``)."""
+        return self.virtual_times
 
     @property
     def read_partitions(self) -> np.ndarray:
@@ -199,16 +208,21 @@ class FocusAssembler:
         prep: PreparedAssembly,
         n_partitions: int | None = None,
         partition_mode: str | None = None,
+        backend: str | None = None,
     ) -> AssemblyResult:
         """Partition, trim, traverse, and build contigs.
 
         May be called repeatedly on one :class:`PreparedAssembly` with
-        different partition counts/modes; each call works on a fresh
-        distributed view.
+        different partition counts/modes/backends; each call works on a
+        fresh distributed view.  The distributed stages execute on the
+        configured backend (``serial``, ``sim``, or ``process``) —
+        contigs are byte-identical across backends; only where the
+        kernels run and which clock fills ``virtual_times`` changes.
         """
         cfg = self.config
         k = cfg.n_partitions if n_partitions is None else n_partitions
         mode = cfg.partition_mode if partition_mode is None else partition_mode
+        backend_name = cfg.backend if backend is None else backend
         if k < 1 or (k & (k - 1)) != 0:
             raise ValueError("n_partitions must be a power of two")
         if mode not in ("hybrid", "multilevel"):
@@ -216,7 +230,7 @@ class FocusAssembler:
 
         timer = StageTimer()
         timer.durations.update(prep.timer.durations)
-        virtual: dict[str, float] = {}
+        stage_times: dict[str, float] = {}
 
         with timer.stage("partition"):
             if mode == "hybrid":
@@ -228,34 +242,38 @@ class FocusAssembler:
                 part.labels_finest = labels_h
 
         dag = DistributedAssemblyGraph(prep.assembly, labels_h)
-        cluster = SimCluster(k, cost_model=self.cost_model, deadlock_timeout=600.0)
+        engine = create_backend(
+            backend_name,
+            dag,
+            workers=cfg.backend_workers,
+            cost_model=self.cost_model,
+        )
 
-        if cfg.run_trimming:
-            with timer.stage("trim"):
-                _, s = cluster.run(
-                    transitive_reduction, dag, tolerance=cfg.transitive_tolerance
-                )
-                virtual["transitive"] = s.elapsed
-                _, s = cluster.run(
-                    containment_removal,
-                    dag,
-                    min_overlap=cfg.containment_min_overlap,
-                    min_identity=cfg.containment_min_identity,
-                )
-                virtual["containment"] = s.elapsed
-                _, s = cluster.run(trim_dead_ends, dag, max_tip_bases=cfg.max_tip_bases)
-                virtual["dead_ends"] = s.elapsed
-                _, s = cluster.run(pop_bubbles, dag)
-                virtual["bubbles"] = s.elapsed
-                virtual["trim_total"] = sum(
-                    virtual[key]
-                    for key in ("transitive", "containment", "dead_ends", "bubbles")
-                )
+        def run(stage: str, **params) -> object:
+            out = engine.run_stage(stage, **params)
+            stage_times[stage] = out.elapsed
+            return out.result
 
-        with timer.stage("traverse"):
-            results, s = cluster.run(maximal_paths, dag)
-            paths = results[0]
-            virtual["traversal"] = s.elapsed
+        try:
+            if cfg.run_trimming:
+                with timer.stage("trim"):
+                    run("transitive", tolerance=cfg.transitive_tolerance)
+                    run(
+                        "containment",
+                        min_overlap=cfg.containment_min_overlap,
+                        min_identity=cfg.containment_min_identity,
+                    )
+                    run("dead_ends", max_tip_bases=cfg.max_tip_bases)
+                    run("bubbles")
+                    stage_times["trim_total"] = sum(
+                        stage_times[key]
+                        for key in ("transitive", "containment", "dead_ends", "bubbles")
+                    )
+
+            with timer.stage("traverse"):
+                paths = run("traversal")
+        finally:
+            engine.close()
 
         with timer.stage("contigs"):
             contigs = contigs_from_paths(dag, paths)
@@ -266,7 +284,7 @@ class FocusAssembler:
             contigs=contigs,
             stats=AssemblyStats.from_contigs(contigs),
             timer=timer,
-            virtual_times=virtual,
+            virtual_times=stage_times,
             processed_reads=prep.reads,
             g0=prep.g0,
             mls=prep.mls,
@@ -275,6 +293,8 @@ class FocusAssembler:
             dag=dag,
             partition=part,
             paths=paths,
+            backend=engine.name,
+            time_kind=engine.time_kind,
         )
 
     def assemble(self, reads: ReadSet) -> AssemblyResult:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 
@@ -33,6 +34,13 @@ class StageTimer:
     @property
     def total(self) -> float:
         return sum(self.durations.values())
+
+    def to_json(self, **metadata) -> str:
+        """Machine-readable dump: per-stage durations, total, and any
+        caller-supplied tags (backend name, time kind, ...)."""
+        payload: dict = {"stages": dict(self.durations), "total": self.total}
+        payload.update(metadata)
+        return json.dumps(payload, indent=2)
 
     def report(self) -> str:
         """Human-readable per-stage table."""

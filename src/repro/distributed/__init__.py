@@ -1,13 +1,17 @@
 """Distributed graph algorithms on the partitioned hybrid graph.
 
-Implements paper §V: each graph partition is owned by one worker rank;
+Implements paper §V: each graph partition is owned by one worker,
 workers scan only their own nodes and report removal candidates (or
 sub-paths) to the master, which applies them — transitive edge
 reduction, containment removal, dead-end/bubble error removal, and
 maximal-path traversal with master-side sub-path joining.
 
-All algorithms run on the simulated MPI runtime (:mod:`repro.mpi`);
-their virtual elapsed time is what Fig. 6 plots.
+Every stage is split into a *pure per-partition kernel* and a *master
+merge* (:mod:`repro.distributed.stages`), so the same algorithm runs
+unchanged on any execution backend (:mod:`repro.parallel.backend`):
+in-process serial, the simulated MPI cluster with virtual clocks
+(whose elapsed time is what Fig. 6 plots), or real OS processes.  See
+docs/architecture.md for the layering contract.
 """
 
 from repro.distributed.dgraph import (
@@ -17,6 +21,13 @@ from repro.distributed.dgraph import (
 )
 from repro.distributed.containment import containment_removal
 from repro.distributed.partition_parallel import parallel_partition_graph_set
+from repro.distributed.stages import (
+    StageSpec,
+    all_stages,
+    get_stage,
+    register_stage,
+    run_stage_on_comm,
+)
 from repro.distributed.transitive import transitive_reduction
 from repro.distributed.traversal import contigs_from_paths, maximal_paths
 from repro.distributed.trimming import pop_bubbles, trim_dead_ends
@@ -26,6 +37,11 @@ __all__ = [
     "DistributedAssemblyGraph",
     "HybridAssembly",
     "enrich_hybrid",
+    "StageSpec",
+    "register_stage",
+    "get_stage",
+    "all_stages",
+    "run_stage_on_comm",
     "transitive_reduction",
     "containment_removal",
     "trim_dead_ends",

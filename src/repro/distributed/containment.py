@@ -1,10 +1,11 @@
 """Distributed containment removal and false-edge filtering (paper §V-B).
 
-Workers align each of their nodes' contigs against neighbouring
-contigs.  A node whose contig is contained in a neighbour's (at
-sufficient identity) is redundant and recorded for removal; an edge
-whose implied contig overlap is shorter than 50 bp is a false positive
-and also recorded.  The master applies both removals.
+The per-partition kernel aligns each of its nodes' contigs against
+neighbouring contigs.  A node whose contig is contained in a
+neighbour's (at sufficient identity) is redundant and proposed for
+removal; an edge whose implied contig overlap is shorter than 50 bp is
+a false positive and also proposed.  The master merge applies both
+removal sets.
 """
 
 from __future__ import annotations
@@ -12,10 +13,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributed.dgraph import DistributedAssemblyGraph
-from repro.mpi.simcomm import SimComm
+from repro.distributed.stages import register_stage, run_stage_on_comm, union_proposals
 from repro.sequence.dna import hamming_identity
 
-__all__ = ["find_containments", "containment_removal"]
+__all__ = [
+    "find_containments",
+    "containment_kernel",
+    "apply_containments",
+    "containment_removal",
+]
 
 
 def _contained_identity(
@@ -61,25 +67,38 @@ def find_containments(
     return dead_nodes, dead_edges
 
 
+def containment_kernel(
+    dag: DistributedAssemblyGraph,
+    part: int,
+    min_overlap: int = 50,
+    min_identity: float = 0.9,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pure kernel: (node ids, edge ids) proposed by one partition."""
+    nodes, edges = find_containments(
+        dag, dag.partition_nodes(part), min_overlap, min_identity
+    )
+    return np.asarray(nodes, dtype=np.int64), np.asarray(edges, dtype=np.int64)
+
+
+def apply_containments(
+    dag: DistributedAssemblyGraph, proposals, **_params
+) -> tuple[int, int]:
+    """Master merge: union node/edge proposals; returns removal counts."""
+    nodes = union_proposals([p[0] for p in proposals])
+    edges = union_proposals([p[1] for p in proposals])
+    return dag.remove_nodes(nodes), dag.remove_edges(edges)
+
+
+CONTAINMENT = register_stage("containment", containment_kernel, apply_containments)
+
+
 def containment_removal(
-    comm: SimComm,
+    comm,
     dag: DistributedAssemblyGraph,
     min_overlap: int = 50,
     min_identity: float = 0.9,
 ) -> tuple[int, int]:
     """MPI-style containment removal; returns (nodes, edges) removed."""
-    with comm.timed():
-        local = find_containments(
-            dag, dag.partition_nodes(comm.rank), min_overlap, min_identity
-        )
-    gathered = comm.gather(local, root=0)
-    result = None
-    if comm.rank == 0:
-        with comm.timed():
-            nodes: set[int] = set()
-            edges: set[int] = set()
-            for n_part, e_part in gathered:
-                nodes.update(n_part)
-                edges.update(e_part)
-            result = (dag.remove_nodes(nodes), dag.remove_edges(edges))
-    return comm.bcast(result, root=0)
+    return run_stage_on_comm(
+        comm, CONTAINMENT, dag, min_overlap=min_overlap, min_identity=min_identity
+    )

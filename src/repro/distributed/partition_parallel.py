@@ -1,13 +1,11 @@
 """Parallel recursive bisection on the simulated cluster (Fig. 4).
 
-Recursive bisection has natural parallelism (paper §IV-C): step ``i``
-holds ``2^i`` independent bisection tasks, and the final global k-way
-refinement holds one independent task per graph level.  This driver
-executes the partitioning on a :class:`~repro.mpi.SimCluster`: tasks
-are assigned round-robin to ranks, per-task compute is measured on the
-owning rank's virtual clock, and label updates travel through
-allgathers — so the run's virtual elapsed time is what a ``p``-rank
-MPI job would have measured.
+This driver executes the partitioning on a
+:class:`~repro.mpi.SimCluster`: the pure per-task kernels of
+:mod:`repro.distributed.partition_kernels` are assigned round-robin to
+ranks, per-task compute is measured on the owning rank's virtual
+clock, and label updates travel through allgathers — so the run's
+virtual elapsed time is what a ``p``-rank MPI job would have measured.
 
 Task RNG seeds depend only on (seed, step, group), so the produced
 partition is identical for every rank count; only the timing changes.
@@ -17,14 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.distributed.partition_kernels import bisect_group_kernel, kway_level_kernel
 from repro.graph.coarsen import MultilevelGraphSet
 from repro.graph.overlap_graph import OverlapGraph
 from repro.mpi.cluster import RunStats, SimCluster
 from repro.mpi.simcomm import SimComm
 from repro.mpi.timing import CommCostModel
-from repro.partition.kway import kway_refine
 from repro.partition.multilevel import _project_labels_up
-from repro.partition.recursive import PartitionConfig, _bisect_subgraph, bisect_graph_set
+from repro.partition.recursive import PartitionConfig
 
 __all__ = ["parallel_partition_graph_set"]
 
@@ -46,15 +44,8 @@ def _rank_fn(
         for gi, group in enumerate(frontier):
             if gi % comm.size != comm.rank:
                 continue
-            rng = np.random.default_rng((config.seed, step, gi))
             with comm.timed():
-                if group.size <= 1:
-                    half = np.zeros(group.size, dtype=np.int64)
-                elif step == 0:
-                    half = bisect_graph_set(graphs, mappings, config, rng)
-                else:
-                    sub, remap = finest.induced_subgraph(group)
-                    half = _bisect_subgraph(sub, config, rng)[remap[group]]
+                half = bisect_group_kernel(graphs, mappings, group, step, gi, config)
             local_results.append((gi, half))
         # Everyone learns every group's bisection (the step barrier).
         all_results = comm.allgather(local_results)
@@ -80,14 +71,7 @@ def _rank_fn(
             if level % comm.size != comm.rank:
                 continue
             with comm.timed():
-                refined, _ = kway_refine(
-                    graphs[level],
-                    per_level[level],
-                    k=k,
-                    balance=config.kway_balance,
-                    stall_window=config.stall_window,
-                    max_passes=config.kway_max_passes,
-                )
+                refined = kway_level_kernel(graphs[level], per_level[level], k, config)
             local_refined.append((level, refined))
         all_refined = comm.allgather(local_refined)
         with comm.timed():

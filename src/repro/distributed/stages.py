@@ -1,0 +1,130 @@
+"""Stage specifications: pure per-partition kernels plus master merges.
+
+Every distributed graph-cleaning stage of paper §V decomposes into the
+same two halves:
+
+- a **kernel** — ``kernel(dag, part, **params)`` — reads one
+  partition's view of the :class:`~repro.distributed.dgraph.\
+DistributedAssemblyGraph` and returns *proposals* as plain numpy
+  arrays (edge ids to drop, node ids to trim, packed sub-paths).
+  Kernels never mutate the graph and never communicate, so they can be
+  executed anywhere: in-process, on a simulated MPI rank, or inside a
+  forked worker process.
+- a **merge** — ``merge(dag, proposals, **params)`` — runs on the
+  master, conflict-resolves the per-partition proposals (removals are
+  idempotent, so a union suffices; sub-paths are joined across
+  partition boundaries), mutates the alive-masks, and returns the
+  stage result.
+
+The registry maps stage names to :class:`StageSpec` pairs; execution
+backends (:mod:`repro.parallel.backend`) look stages up by name so a
+forked worker can resolve the kernel without shipping code.
+
+Layering note: this module (and every kernel-defining module under
+``repro.distributed``) must not import :mod:`repro.mpi` — enforced
+statically by lint rule ARCH001.  The simulated-cluster adapter lives
+on the mpi side (:mod:`repro.mpi.stage_backend`) and imports us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "StageSpec",
+    "register_stage",
+    "get_stage",
+    "all_stages",
+    "run_stage_on_comm",
+    "union_proposals",
+]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One distributed stage as a (kernel, merge) pair.
+
+    ``kernel(dag, part, **params)`` must be a pure, deterministic,
+    module-level function returning picklable numpy proposals;
+    ``merge(dag, proposals, **params)`` receives the proposal list
+    indexed by partition id and applies it on the master's graph.
+    """
+
+    name: str
+    kernel: Callable[..., Any]
+    merge: Callable[..., Any]
+
+
+_STAGES: dict[str, StageSpec] = {}
+
+
+def register_stage(name: str, kernel, merge) -> StageSpec:
+    """Register a stage; returns the spec for module-level reuse."""
+    if name in _STAGES:
+        raise ValueError(f"duplicate stage name {name!r}")
+    spec = StageSpec(name=name, kernel=kernel, merge=merge)
+    _STAGES[name] = spec
+    return spec
+
+
+def _load_stage_modules() -> None:
+    """Import every kernel-defining module (registration side effect)."""
+    from repro.distributed import (  # noqa: F401 (imports register stages)
+        containment,
+        transitive,
+        traversal,
+        trimming,
+    )
+
+
+def get_stage(name: str) -> StageSpec:
+    """Look a stage up by name, importing the stage modules on demand."""
+    _load_stage_modules()
+    try:
+        return _STAGES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; known: {sorted(_STAGES)}"
+        ) from None
+
+
+def all_stages() -> list[StageSpec]:
+    """Every registered stage, sorted by name."""
+    _load_stage_modules()
+    return [_STAGES[name] for name in sorted(_STAGES)]
+
+
+def union_proposals(proposals) -> np.ndarray:
+    """Sorted unique int64 ids across per-partition proposal arrays.
+
+    Boundary objects may be proposed by several owners (the paper notes
+    removals are idempotent); the merge deduplicates so removal counts
+    stay exact.
+    """
+    arrays = [np.asarray(p, dtype=np.int64).ravel() for p in proposals]
+    if not arrays:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(arrays))
+
+
+def run_stage_on_comm(comm, stage: StageSpec, dag, **params):
+    """SPMD driver: run one stage on an MPI-style communicator.
+
+    Rank ``r`` executes the kernel for partition ``r`` under the
+    virtual clock, proposals are gathered to the root, the root merges
+    (also timed), and the result is broadcast — the paper's
+    scan-locally/apply-centrally pattern.  The communicator is
+    duck-typed (anything with ``rank``/``timed``/``gather``/``bcast``),
+    so this module stays free of :mod:`repro.mpi` imports.
+    """
+    with comm.timed():
+        proposal = stage.kernel(dag, comm.rank, **params)
+    gathered = comm.gather(proposal, root=0)
+    result = None
+    if comm.rank == 0:
+        with comm.timed():
+            result = stage.merge(dag, gathered, **params)
+    return comm.bcast(result, root=0)

@@ -3,10 +3,10 @@
 An edge v->u (delta ``d_u > 0``) is transitive if some closer
 right-neighbour w (``0 < d_w < d_u``) has its own edge w->u whose delta
 equals ``d_u - d_w`` (within a tolerance): the long overlap is implied
-by the two short ones.  Each worker scans the nodes of its partition
-and records transitive edge ids; the master removes them.  Edges
-crossing partitions may be recorded by both owners — removal is
-idempotent, exactly as the paper notes.
+by the two short ones.  The per-partition kernel scans the nodes of
+one partition and proposes transitive edge ids; the master merge
+removes them.  Edges crossing partitions may be proposed by both
+owners — removal is idempotent, exactly as the paper notes.
 """
 
 from __future__ import annotations
@@ -14,9 +14,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributed.dgraph import DistributedAssemblyGraph
-from repro.mpi.simcomm import SimComm
+from repro.distributed.stages import register_stage, run_stage_on_comm, union_proposals
 
-__all__ = ["find_transitive_edges", "transitive_reduction"]
+__all__ = [
+    "find_transitive_edges",
+    "transitive_kernel",
+    "apply_transitive",
+    "transitive_reduction",
+]
 
 
 def find_transitive_edges(
@@ -54,22 +59,28 @@ def find_transitive_edges(
     return out
 
 
-def transitive_reduction(
-    comm: SimComm, dag: DistributedAssemblyGraph, tolerance: int = 2
+def transitive_kernel(
+    dag: DistributedAssemblyGraph, part: int, tolerance: int = 2
+) -> np.ndarray:
+    """Pure kernel: transitive edge ids proposed by one partition."""
+    found = find_transitive_edges(dag, dag.partition_nodes(part), tolerance)
+    return np.asarray(found, dtype=np.int64)
+
+
+def apply_transitive(
+    dag: DistributedAssemblyGraph, proposals, **_params
 ) -> int:
+    """Master merge: union the proposals and kill the edges."""
+    return dag.remove_edges(union_proposals(proposals))
+
+
+TRANSITIVE = register_stage("transitive", transitive_kernel, apply_transitive)
+
+
+def transitive_reduction(comm, dag: DistributedAssemblyGraph, tolerance: int = 2) -> int:
     """MPI-style transitive reduction; returns removed-edge count.
 
-    Rank ``r`` owns partition ``r``.  Run with a SimCluster of
+    Rank ``r`` owns partition ``r``.  Run with a cluster of
     ``dag.n_parts`` ranks.
     """
-    with comm.timed():
-        local = find_transitive_edges(dag, dag.partition_nodes(comm.rank), tolerance)
-    gathered = comm.gather(local, root=0)
-    removed = None
-    if comm.rank == 0:
-        with comm.timed():
-            all_edges: set[int] = set()
-            for part in gathered:
-                all_edges.update(part)
-            removed = dag.remove_edges(all_edges)
-    return comm.bcast(removed, root=0)
+    return run_stage_on_comm(comm, TRANSITIVE, dag, tolerance=tolerance)

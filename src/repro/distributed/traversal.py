@@ -1,15 +1,17 @@
 """Distributed maximal-path extraction and contig construction (§V-D).
 
-Each worker grows paths within its own partition: starting from an
-unvisited node, the path extends through out-edges while the chain is
-unambiguous (single out-edge that is also the single in-edge of its
-head) and stays inside the partition; then symmetrically through
-in-edges.  The master joins sub-paths whose endpoints meet across
-partition boundaries (right end of p1 -> left end of p2, where that is
-p2's only in-edge), then emits one contig per path by overlaying the
-node contigs at their delta-accumulated offsets.
+The per-partition kernel grows paths within its own partition:
+starting from an unvisited node, the path extends through out-edges
+while the chain is unambiguous (single out-edge that is also the
+single in-edge of its head) and stays inside the partition; then
+symmetrically through in-edges.  Sub-paths travel as a packed ragged
+encoding (flat node array + per-path lengths).  The master merge joins
+sub-paths whose endpoints meet across partition boundaries (right end
+of p1 -> left end of p2, where that is p2's only in-edge); one contig
+per path is then emitted by overlaying the node contigs at their
+delta-accumulated offsets.
 
-Workers consult vectorised :meth:`direction_tables` (one O(E) numpy
+Kernels consult vectorised :meth:`direction_tables` (one O(E) numpy
 precompute) rather than slicing adjacency per node, so traversal time
 is dominated by that precompute — cheap and nearly independent of the
 partition count, as the paper observes (Fig. 6).
@@ -20,9 +22,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributed.dgraph import DistributedAssemblyGraph
-from repro.mpi.simcomm import SimComm
+from repro.distributed.stages import register_stage, run_stage_on_comm
 
-__all__ = ["extract_subpaths", "join_subpaths", "maximal_paths", "contigs_from_paths"]
+__all__ = [
+    "extract_subpaths",
+    "subpath_kernel",
+    "pack_paths",
+    "unpack_paths",
+    "join_subpaths",
+    "merge_subpaths",
+    "maximal_paths",
+    "contigs_from_paths",
+]
 
 Tables = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
@@ -66,6 +77,41 @@ def extract_subpaths(
             cur = prv
         paths.append(path)
     return paths
+
+
+def pack_paths(paths: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Ragged encoding of a path list: (flat node ids, path lengths)."""
+    lens = np.array([len(p) for p in paths], dtype=np.int64)
+    if paths:
+        flat = np.concatenate([np.asarray(p, dtype=np.int64) for p in paths])
+    else:
+        flat = np.empty(0, dtype=np.int64)
+    return flat, lens
+
+
+def unpack_paths(flat: np.ndarray, lens: np.ndarray) -> list[list[int]]:
+    """Inverse of :func:`pack_paths`."""
+    bounds = np.cumsum(np.asarray(lens, dtype=np.int64))
+    flat = np.asarray(flat, dtype=np.int64)
+    out: list[list[int]] = []
+    lo = 0
+    for hi in bounds.tolist():
+        out.append(flat[lo:hi].tolist())
+        lo = hi
+    return out
+
+
+def subpath_kernel(
+    dag: DistributedAssemblyGraph, part: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pure kernel: packed maximal sub-paths of one partition.
+
+    A partition-local path never leaves its partition, so each kernel
+    invocation can use a private ``visited`` array — no shared state.
+    """
+    visited = np.zeros(dag.graph.n_nodes, dtype=bool)
+    paths = extract_subpaths(dag, part, visited, dag.direction_tables())
+    return pack_paths(paths)
 
 
 def join_subpaths(
@@ -120,22 +166,24 @@ def join_subpaths(
     return joined
 
 
-def maximal_paths(comm: SimComm, dag: DistributedAssemblyGraph) -> list[list[int]] | None:
+def merge_subpaths(
+    dag: DistributedAssemblyGraph, proposals, **_params
+) -> list[list[int]]:
+    """Master merge: unpack per-partition sub-paths (in partition
+    order, so the result is backend-independent) and join them."""
+    flat_paths = [p for prop in proposals for p in unpack_paths(*prop)]
+    return join_subpaths(dag, flat_paths)
+
+
+TRAVERSAL = register_stage("traversal", subpath_kernel, merge_subpaths)
+
+
+def maximal_paths(comm, dag: DistributedAssemblyGraph) -> list[list[int]] | None:
     """MPI-style traversal: workers extract, master joins.
 
     Returns the joined path list on every rank.
     """
-    visited = np.zeros(dag.graph.n_nodes, dtype=bool)
-    with comm.timed():
-        tables = dag.direction_tables()
-        local = extract_subpaths(dag, comm.rank, visited, tables)
-    gathered = comm.gather(local, root=0)
-    joined = None
-    if comm.rank == 0:
-        with comm.timed():
-            flat = [p for part in gathered for p in part]
-            joined = join_subpaths(dag, flat, tables)
-    return comm.bcast(joined, root=0)
+    return run_stage_on_comm(comm, TRAVERSAL, dag)
 
 
 def contigs_from_paths(

@@ -8,7 +8,8 @@ Paper §V-C, after Velvet's tour bus ideas [16]:
 - a *bubble* is a pair of parallel single-node paths ``v - a - w`` /
   ``v - b - w``; the lighter branch is popped.
 
-Workers detect within their partitions; the master removes.
+Per-partition kernels detect within their partitions; the master merge
+removes.
 """
 
 from __future__ import annotations
@@ -16,9 +17,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributed.dgraph import DistributedAssemblyGraph
-from repro.mpi.simcomm import SimComm
+from repro.distributed.stages import register_stage, run_stage_on_comm, union_proposals
 
-__all__ = ["find_dead_ends", "trim_dead_ends", "find_bubbles", "pop_bubbles"]
+__all__ = [
+    "find_dead_ends",
+    "dead_end_kernel",
+    "apply_dead_ends",
+    "trim_dead_ends",
+    "find_bubbles",
+    "bubble_kernel",
+    "apply_bubbles",
+    "pop_bubbles",
+]
 
 
 def find_dead_ends(
@@ -60,21 +70,25 @@ def find_dead_ends(
     return out
 
 
-def trim_dead_ends(
-    comm: SimComm, dag: DistributedAssemblyGraph, max_tip_bases: int = 150
-) -> int:
+def dead_end_kernel(
+    dag: DistributedAssemblyGraph, part: int, max_tip_bases: int = 150
+) -> np.ndarray:
+    """Pure kernel: dead-end chain node ids proposed by one partition."""
+    found = find_dead_ends(dag, dag.partition_nodes(part), max_tip_bases)
+    return np.asarray(found, dtype=np.int64)
+
+
+def apply_dead_ends(dag: DistributedAssemblyGraph, proposals, **_params) -> int:
+    """Master merge: union the proposals and kill the nodes."""
+    return dag.remove_nodes(union_proposals(proposals))
+
+
+DEAD_ENDS = register_stage("dead_ends", dead_end_kernel, apply_dead_ends)
+
+
+def trim_dead_ends(comm, dag: DistributedAssemblyGraph, max_tip_bases: int = 150) -> int:
     """MPI-style dead-end trimming; returns removed-node count."""
-    with comm.timed():
-        local = find_dead_ends(dag, dag.partition_nodes(comm.rank), max_tip_bases)
-    gathered = comm.gather(local, root=0)
-    removed = None
-    if comm.rank == 0:
-        with comm.timed():
-            allnodes: set[int] = set()
-            for part in gathered:
-                allnodes.update(part)
-            removed = dag.remove_nodes(allnodes)
-    return comm.bcast(removed, root=0)
+    return run_stage_on_comm(comm, DEAD_ENDS, dag, max_tip_bases=max_tip_bases)
 
 
 def find_bubbles(dag: DistributedAssemblyGraph, nodes: np.ndarray) -> list[int]:
@@ -114,16 +128,20 @@ def find_bubbles(dag: DistributedAssemblyGraph, nodes: np.ndarray) -> list[int]:
     return out
 
 
-def pop_bubbles(comm: SimComm, dag: DistributedAssemblyGraph) -> int:
+def bubble_kernel(dag: DistributedAssemblyGraph, part: int) -> np.ndarray:
+    """Pure kernel: lighter-branch node ids proposed by one partition."""
+    found = find_bubbles(dag, dag.partition_nodes(part))
+    return np.asarray(found, dtype=np.int64)
+
+
+def apply_bubbles(dag: DistributedAssemblyGraph, proposals, **_params) -> int:
+    """Master merge: union the proposals and pop the branches."""
+    return dag.remove_nodes(union_proposals(proposals))
+
+
+BUBBLES = register_stage("bubbles", bubble_kernel, apply_bubbles)
+
+
+def pop_bubbles(comm, dag: DistributedAssemblyGraph) -> int:
     """MPI-style bubble popping; returns removed-node count."""
-    with comm.timed():
-        local = find_bubbles(dag, dag.partition_nodes(comm.rank))
-    gathered = comm.gather(local, root=0)
-    removed = None
-    if comm.rank == 0:
-        with comm.timed():
-            allnodes: set[int] = set()
-            for part in gathered:
-                allnodes.update(part)
-            removed = dag.remove_nodes(allnodes)
-    return comm.bcast(removed, root=0)
+    return run_stage_on_comm(comm, BUBBLES, dag)

@@ -10,6 +10,9 @@ load.
 from __future__ import annotations
 
 import json
+import pickle
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -22,6 +25,42 @@ __all__ = ["save_graph", "load_graph", "save_readset", "load_readset"]
 
 _GRAPH_VERSION = 1
 _READSET_VERSION = 1
+
+_GRAPH_KEYS = (
+    "version",
+    "n_nodes",
+    "eu",
+    "ev",
+    "weights",
+    "deltas",
+    "identities",
+    "node_weights",
+    "has_deltas",
+)
+_READSET_KEYS = ("version", "data", "offsets", "ids", "has_quals", "quals", "meta")
+
+
+@contextmanager
+def _open_archive(source, kind: str, keys: tuple[str, ...], version: int):
+    """np.load with clear errors: not-an-archive, missing keys, bad version."""
+    try:
+        data = np.load(source, allow_pickle=(kind == "readset"))
+    except (zipfile.BadZipFile, pickle.UnpicklingError, ValueError, OSError) as exc:
+        raise ValueError(f"not a {kind} archive: {source!r} ({exc})") from exc
+    with data:
+        missing = sorted(set(keys) - set(data.files))
+        if missing:
+            raise ValueError(
+                f"corrupt or foreign {kind} archive {source!r}: "
+                f"missing keys {missing}"
+            )
+        found = int(data["version"])
+        if found != version:
+            raise ValueError(
+                f"unsupported {kind} archive version {found} "
+                f"(this build reads version {version})"
+            )
+        yield data
 
 
 def save_graph(graph: OverlapGraph, dest) -> None:
@@ -41,10 +80,13 @@ def save_graph(graph: OverlapGraph, dest) -> None:
 
 
 def load_graph(source) -> OverlapGraph:
-    """Read an OverlapGraph written by :func:`save_graph`."""
-    with np.load(source) as data:
-        if int(data["version"]) != _GRAPH_VERSION:
-            raise ValueError(f"unsupported graph archive version {int(data['version'])}")
+    """Read an OverlapGraph written by :func:`save_graph`.
+
+    Raises :class:`ValueError` (never a bare ``KeyError``) when the
+    file is not an archive, is missing expected arrays, or was written
+    by an unsupported format version.
+    """
+    with _open_archive(source, "graph", _GRAPH_KEYS, _GRAPH_VERSION) as data:
         return OverlapGraph(
             int(data["n_nodes"]),
             data["eu"],
@@ -72,10 +114,13 @@ def save_readset(reads: ReadSet, dest) -> None:
 
 
 def load_readset(source) -> ReadSet:
-    """Read a ReadSet written by :func:`save_readset`."""
-    with np.load(source, allow_pickle=True) as data:
-        if int(data["version"]) != _READSET_VERSION:
-            raise ValueError(f"unsupported readset archive version {int(data['version'])}")
+    """Read a ReadSet written by :func:`save_readset`.
+
+    Raises :class:`ValueError` (never a bare ``KeyError``) when the
+    file is not an archive, is missing expected arrays, or was written
+    by an unsupported format version.
+    """
+    with _open_archive(source, "readset", _READSET_KEYS, _READSET_VERSION) as data:
         offsets = data["offsets"]
         codes = data["data"]
         ids = [str(x) for x in data["ids"].tolist()]

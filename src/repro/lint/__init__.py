@@ -17,6 +17,8 @@ MPI002    error     literal message tags in the reserved space (<= -1000)
 MPI003    error     payload names mutated after an eager ``send``/``isend``
 DET001    warning   ``random.*`` / ``np.random.*`` global-state calls
 PERF001   warning   compute loops in rank functions outside ``comm.timed()``
+PERF002   warning   per-element ``.tolist()`` loops on the overlap hot path
+ARCH001   error     distributed kernel modules importing ``repro.mpi``
 ========  ========  =====================================================
 
 Run it as ``python -m repro lint [paths] [--format text|json]

@@ -1,0 +1,74 @@
+"""Architecture rules: ARCH001 kernel module imports the MPI layer.
+
+The distributed stages are split into pure per-partition *kernels*
+(functions named ``*_kernel``) and master-side merges so that the same
+algorithm runs unchanged on every execution backend — in-process
+serial, the simulated MPI cluster, and real OS processes (see
+docs/architecture.md).  A kernel module that imports ``repro.mpi``
+couples the algorithm to one backend and breaks the layering that the
+process backend relies on (kernels are resolved by name inside forked
+workers that never construct a communicator).  Driver modules that
+*orchestrate* kernels over a communicator may import ``repro.mpi``
+freely — the rule only fires on modules that define kernels.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["KernelImportsMpi"]
+
+
+def _defines_kernel(tree: ast.AST) -> bool:
+    """True when the module defines a ``*_kernel`` function."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.endswith("_kernel"):
+                return True
+    return False
+
+
+def _mpi_imports(tree: ast.AST) -> Iterator[ast.AST]:
+    """Import statements that pull in ``repro.mpi`` or a submodule."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(
+                alias.name == "repro.mpi" or alias.name.startswith("repro.mpi.")
+                for alias in node.names
+            ):
+                yield node
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "repro.mpi" or mod.startswith("repro.mpi."):
+                yield node
+            elif mod == "repro" and any(a.name == "mpi" for a in node.names):
+                yield node
+
+
+@register
+class KernelImportsMpi(Rule):
+    id = "ARCH001"
+    severity = Severity.ERROR
+    summary = "distributed kernel module imports repro.mpi (backend coupling)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        path = ctx.path.replace("\\", "/")
+        if "repro/distributed/" not in path:
+            return
+        if not _defines_kernel(ctx.tree):
+            return
+        for node in _mpi_imports(ctx.tree):
+            yield self.finding(
+                ctx,
+                node,
+                "module defines a `*_kernel` function but imports repro.mpi "
+                "— kernels must stay backend-agnostic; move communicator "
+                "orchestration to a driver module (or the stage registry) "
+                "so the process backend can run the kernel in a forked "
+                "worker",
+            )

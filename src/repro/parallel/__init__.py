@@ -4,15 +4,32 @@ The simulated-MPI layer (``repro.mpi``) models a cluster on threads and
 a virtual clock; this package runs the same independent work units on
 actual cores via :class:`concurrent.futures.ProcessPoolExecutor`.  Both
 layers share the scheduling helpers in :mod:`repro.parallel.schedule`.
+
+Two executor families live here:
+
+- :mod:`repro.parallel.executor` — subset-pair overlap work units for
+  the alignment stage;
+- :mod:`repro.parallel.backend` — the backend abstraction for the
+  distributed kernel/merge stages (``serial`` / ``sim`` / ``process``),
+  selected per run via ``AssemblyConfig.backend``.
 """
 
+from repro.parallel.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    StageOutcome,
+    create_backend,
+    partition_costs,
+)
+from repro.parallel.executor import ExecutorStats, run_subset_pairs
 from repro.parallel.schedule import (
     assignment_imbalance,
     lpt_assignment,
     round_robin_assignment,
     subset_pair_costs,
 )
-from repro.parallel.executor import ExecutorStats, run_subset_pairs
 
 __all__ = [
     "subset_pair_costs",
@@ -21,4 +38,11 @@ __all__ = [
     "assignment_imbalance",
     "run_subset_pairs",
     "ExecutorStats",
+    "BACKEND_NAMES",
+    "StageOutcome",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "create_backend",
+    "partition_costs",
 ]

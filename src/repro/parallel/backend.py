@@ -1,0 +1,266 @@
+"""Execution backends for the distributed kernel/merge stages.
+
+A backend takes a :class:`~repro.distributed.dgraph.\
+DistributedAssemblyGraph` and executes registered stages
+(:mod:`repro.distributed.stages`) against it.  Three implementations
+cover the repo's execution modes:
+
+``serial``
+    An in-process loop: kernels run per partition on the calling
+    thread, the merge applies immediately.  The baseline every other
+    backend must match bit for bit (and that ``process`` must beat on
+    wall-clock — see ``repro bench finish``).
+
+``sim``
+    The paper's virtual cluster: kernels run as SPMD rank functions on
+    :class:`~repro.mpi.SimCluster` threads, producing the *virtual*
+    elapsed times Fig. 6 plots.  Implemented in
+    :mod:`repro.mpi.stage_backend` and resolved lazily here so the
+    parallel layer carries no mpi import.
+
+``process``
+    Real OS parallelism: kernels ship to a ``fork``-context
+    :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+    inherit the enriched assembly copy-on-write.  Each task sends only
+    the stage name, partition id, and current alive-masks, and returns
+    plain numpy proposal arrays; the master merges in-process.  Tasks
+    are submitted largest-partition-first (LPT order, shared with the
+    overlap executor's scheduling policy) so stragglers don't drain
+    the pool.
+
+All three produce byte-identical contigs and alive-masks because the
+kernels are pure and deterministic and merges consume proposals in
+partition order — the backend only changes *where* kernels run and
+which clock measures them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.distributed.stages import StageSpec, get_stage
+
+__all__ = [
+    "BACKEND_NAMES",
+    "StageOutcome",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "create_backend",
+    "partition_costs",
+]
+
+#: the recognised backend names, in documentation order.
+BACKEND_NAMES = ("serial", "sim", "process")
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """Result of running one stage through a backend."""
+
+    stage: str
+    result: Any
+    #: seconds on the backend's clock (wall or virtual).
+    elapsed: float
+    #: "wall" for serial/process, "virtual" for sim.
+    time_kind: str
+
+
+def partition_costs(dag) -> np.ndarray:
+    """Estimated kernel cost per partition: its alive-node count."""
+    labels = dag.labels[dag.node_alive]
+    return np.bincount(labels, minlength=dag.n_parts).astype(np.float64)
+
+
+class ExecutionBackend:
+    """Base class: binds a distributed graph and runs stages on it."""
+
+    name: str = ""
+    time_kind: str = "wall"
+
+    def __init__(self, dag) -> None:
+        self.dag = dag
+
+    @staticmethod
+    def _resolve(stage: StageSpec | str) -> StageSpec:
+        return get_stage(stage) if isinstance(stage, str) else stage
+
+    def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, clusters)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process loop over partitions; the equivalence baseline."""
+
+    name = "serial"
+    time_kind = "wall"
+
+    def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
+        spec = self._resolve(stage)
+        dag = self.dag
+        t0 = time.perf_counter()
+        proposals = [
+            spec.kernel(dag, part, **params) for part in range(dag.n_parts)
+        ]
+        result = spec.merge(dag, proposals, **params)
+        return StageOutcome(
+            stage=spec.name,
+            result=result,
+            elapsed=time.perf_counter() - t0,
+            time_kind=self.time_kind,
+        )
+
+
+#: per-worker state installed by the pool initializer (fork-inherited).
+_WORKER: dict = {}
+
+
+def _init_stage_worker(assembly, labels) -> None:
+    """Prime one worker with its own distributed view of the graph.
+
+    Under ``fork`` the (large, immutable) assembly is inherited
+    copy-on-write; only this view object is constructed per worker.
+    """
+    from repro.distributed.dgraph import DistributedAssemblyGraph
+
+    _WORKER["dag"] = DistributedAssemblyGraph(assembly, labels)
+
+
+def _run_stage_task(stage_name: str, part: int, node_alive, edge_alive, params):
+    """Execute one (stage, partition) kernel inside a worker process.
+
+    The master's current alive-masks travel with the task (they are
+    the only state stages mutate), so sequential stages see each
+    other's removals without re-priming the pool.
+    """
+    dag = _WORKER["dag"]
+    dag.node_alive = node_alive
+    dag.edge_alive = edge_alive
+    return get_stage(stage_name).kernel(dag, part, **params)
+
+
+def _warmup_worker() -> int:
+    return os.getpid()
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap copy-on-write inheritance of the graph)."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Kernels on real OS processes; merges on the calling process.
+
+    The pool is created lazily on the first stage and reused across
+    stages (workers are re-synchronised through the masks shipped with
+    each task).  ``workers=0`` uses one process per partition, capped
+    at the core count.
+    """
+
+    name = "process"
+    time_kind = "wall"
+
+    def __init__(self, dag, workers: int = 0) -> None:
+        super().__init__(dag)
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        cores = os.cpu_count() or 1
+        self.n_workers = workers if workers > 0 else min(dag.n_parts, cores)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=_pool_context(),
+                initializer=_init_stage_worker,
+                initargs=(self.dag.assembly, self.dag.labels),
+            )
+            # Spawn (and fork-prime) every worker up front so the fork
+            # cost lands in backend setup, not in the first stage's
+            # measured wall time.
+            for f in [pool.submit(_warmup_worker) for _ in range(self.n_workers)]:
+                f.result()
+            self._pool = pool
+        return self._pool
+
+    def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
+        spec = self._resolve(stage)
+        dag = self.dag
+        if dag.n_parts <= 1 or self.n_workers <= 1:
+            # Nothing to parallelise: run in-process, same clock kind.
+            return SerialBackend(dag).run_stage(spec, **params)
+        pool = self._ensure_pool()
+        t0 = time.perf_counter()
+        costs = partition_costs(dag)
+        submit_order = np.argsort(-costs, kind="stable").tolist()
+        futures = {
+            part: pool.submit(
+                _run_stage_task,
+                spec.name,
+                part,
+                dag.node_alive,
+                dag.edge_alive,
+                params,
+            )
+            for part in submit_order
+        }
+        proposals = [futures[part].result() for part in range(dag.n_parts)]
+        result = spec.merge(dag, proposals, **params)
+        return StageOutcome(
+            stage=spec.name,
+            result=result,
+            elapsed=time.perf_counter() - t0,
+            time_kind=self.time_kind,
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def create_backend(
+    name: str,
+    dag,
+    *,
+    workers: int = 0,
+    cost_model=None,
+    sanitize: bool = False,
+) -> ExecutionBackend:
+    """Instantiate a backend by name for one distributed graph.
+
+    ``workers`` only affects ``process``; ``cost_model`` and
+    ``sanitize`` only affect ``sim``.
+    """
+    if name == "serial":
+        return SerialBackend(dag)
+    if name == "process":
+        return ProcessBackend(dag, workers=workers)
+    if name == "sim":
+        # The sim adapter lives in the mpi layer; imported lazily so
+        # repro.parallel itself never depends on repro.mpi.
+        from repro.mpi.stage_backend import SimBackend
+
+        return SimBackend(dag, cost_model=cost_model, sanitize=sanitize)
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -1,0 +1,115 @@
+"""Finish-bench schema, gate logic, and report plumbing (no real runs)."""
+
+import json
+
+from repro.bench.finish_bench import (
+    SCHEMA,
+    FinishBenchRecord,
+    FinishBenchReport,
+    process_gate_enforced,
+    regression_failures,
+)
+
+
+def record(dataset="D1", backend="serial", partitions=4, stage_s=1.0):
+    return FinishBenchRecord(
+        dataset=dataset,
+        backend=backend,
+        partitions=partitions,
+        stage_s=stage_s,
+        time_kind="virtual" if backend == "sim" else "wall",
+        stages={"transitive": stage_s},
+        n_contigs=10,
+        n50=1000,
+    )
+
+
+class TestProcessGate:
+    def test_enforced_on_multicore(self):
+        assert process_gate_enforced(2)
+        assert process_gate_enforced(64)
+
+    def test_skipped_on_single_core(self):
+        assert not process_gate_enforced(1)
+        assert not process_gate_enforced(None)
+
+
+class TestRegressionFailures:
+    def test_process_slower_flagged_at_gated_partitions(self):
+        records = [
+            record(backend="serial", partitions=4, stage_s=1.0),
+            record(backend="process", partitions=4, stage_s=2.0),
+        ]
+        failures = regression_failures(records)
+        assert len(failures) == 1
+        assert "process" in failures[0] and "serial" in failures[0]
+
+    def test_process_faster_passes(self):
+        records = [
+            record(backend="serial", partitions=4, stage_s=2.0),
+            record(backend="process", partitions=4, stage_s=1.0),
+        ]
+        assert regression_failures(records) == []
+
+    def test_small_partition_counts_ungated(self):
+        records = [
+            record(backend="serial", partitions=2, stage_s=1.0),
+            record(backend="process", partitions=2, stage_s=5.0),
+        ]
+        assert regression_failures(records) == []
+
+    def test_sim_backend_never_gated(self):
+        records = [
+            record(backend="serial", partitions=4, stage_s=1.0),
+            record(backend="sim", partitions=4, stage_s=9.0),
+        ]
+        assert regression_failures(records) == []
+
+    def test_missing_serial_baseline_ignored(self):
+        assert regression_failures([record(backend="process", stage_s=9.0)]) == []
+
+
+class TestReport:
+    def test_json_schema_and_roundtrip(self):
+        report = FinishBenchReport(
+            records=[record(), record(backend="process", stage_s=0.5)],
+            metadata={"cpu_count": 1, "process_gate_enforced": False},
+        )
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == SCHEMA
+        assert payload["metadata"]["process_gate_enforced"] is False
+        assert len(payload["results"]) == 2
+        assert payload["results"][0]["stages"] == {"transitive": 1.0}
+
+    def test_summary_table_reports_speedup_vs_serial(self):
+        report = FinishBenchReport(
+            records=[record(stage_s=2.0), record(backend="process", stage_s=1.0)]
+        )
+        table = report.summary_table()
+        assert "2.00x" in table
+        assert "process" in table and "serial" in table
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "bench.json"
+        FinishBenchReport(records=[record()]).write(str(path))
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+
+
+class TestCheckedInTrajectory:
+    """The committed BENCH_finish.json must stay valid and gate-clean."""
+
+    def test_checked_in_file_matches_schema(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_finish.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["results"], "trajectory must not be empty"
+        backends = {r["backend"] for r in payload["results"]}
+        assert backends == {"serial", "sim", "process"}
+        records = [
+            FinishBenchRecord(**r) for r in payload["results"]
+        ]
+        # The gate that produced the file: enforced only on multi-core.
+        if process_gate_enforced(payload["metadata"]["cpu_count"]):
+            assert regression_failures(records) == []

@@ -71,6 +71,58 @@ class TestAssembleAndStats:
         out = capsys.readouterr().out
         assert "N50" in out
 
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_assemble_backend_flag(self, tmp_path, reads_fastq, capsys, backend):
+        contigs_path = tmp_path / f"contigs_{backend}.fasta"
+        rc = main(
+            ["assemble", str(reads_fastq), "-o", str(contigs_path),
+             "--partitions", "2", "--backend", backend]
+        )
+        assert rc == 0
+        assert len(list(parse_fasta(contigs_path))) >= 1
+        assert f"[{backend} backend]" in capsys.readouterr().out
+
+    def test_assemble_backends_agree_on_contigs(self, tmp_path, reads_fastq):
+        outputs = {}
+        for backend in ("serial", "sim", "process"):
+            path = tmp_path / f"c_{backend}.fasta"
+            rc = main(
+                ["assemble", str(reads_fastq), "-o", str(path),
+                 "--partitions", "2", "--backend", backend]
+            )
+            assert rc == 0
+            outputs[backend] = sorted(
+                r.codes.tobytes() for r in parse_fasta(path)
+            )
+        assert outputs["serial"] == outputs["sim"] == outputs["process"]
+
+    def test_assemble_timings_json(self, tmp_path, reads_fastq):
+        import json
+
+        contigs_path = tmp_path / "contigs.fasta"
+        timings_path = tmp_path / "timings.json"
+        rc = main(
+            ["assemble", str(reads_fastq), "-o", str(contigs_path),
+             "--partitions", "2", "--backend", "serial",
+             "--timings", str(timings_path)]
+        )
+        assert rc == 0
+        payload = json.loads(timings_path.read_text())
+        assert payload["backend"] == "serial"
+        assert payload["distributed"]["time_kind"] == "wall"
+        for stage in ("align", "partition", "traverse"):
+            assert stage in payload["stages"]
+        for stage in ("transitive", "traversal"):
+            assert stage in payload["distributed"]["stages"]
+        assert payload["total"] == pytest.approx(sum(payload["stages"].values()))
+
+    def test_assemble_unknown_backend_exits(self, tmp_path, reads_fastq):
+        with pytest.raises(SystemExit):
+            main(
+                ["assemble", str(reads_fastq), "-o", str(tmp_path / "c.fasta"),
+                 "--backend", "threads"]
+            )
+
     def test_assemble_empty_input(self, tmp_path):
         empty = tmp_path / "none.fasta"
         empty.write_text("")

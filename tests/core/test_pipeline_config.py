@@ -1,5 +1,6 @@
 """Unit tests for StageTimer and AssemblyConfig."""
 
+import json
 import time
 
 import pytest
@@ -50,6 +51,23 @@ class TestStageTimer:
                 raise RuntimeError
         assert "boom" in t.durations
 
+    def test_to_json_stages_and_total(self):
+        t = StageTimer()
+        t.record("align", 2.0)
+        t.record("trim", 0.5)
+        payload = json.loads(t.to_json())
+        assert payload["stages"] == {"align": 2.0, "trim": 0.5}
+        assert payload["total"] == pytest.approx(2.5)
+
+    def test_to_json_metadata_tags(self):
+        t = StageTimer()
+        t.record("align", 1.0)
+        payload = json.loads(
+            t.to_json(backend="process", distributed={"time_kind": "wall"})
+        )
+        assert payload["backend"] == "process"
+        assert payload["distributed"]["time_kind"] == "wall"
+
 
 class TestAssemblyConfig:
     def test_defaults_valid(self):
@@ -62,8 +80,14 @@ class TestAssemblyConfig:
             dict(n_partitions=0),
             dict(partition_mode="metis"),
             dict(min_read_length=0),
+            dict(backend="threads"),
+            dict(backend_workers=-1),
         ],
     )
     def test_invalid(self, kw):
         with pytest.raises(ValueError):
             AssemblyConfig(**kw)
+
+    @pytest.mark.parametrize("backend", ["serial", "sim", "process"])
+    def test_backend_names_accepted(self, backend):
+        assert AssemblyConfig(backend=backend).backend == backend

@@ -87,6 +87,14 @@ class TestReadSetStore:
         save_readset(ReadSet.from_strings([]), path)
         assert len(load_readset(path)) == 0
 
+    def test_cross_loader_rejected_with_clear_error(self, tmp_path):
+        # A readset archive fed to load_graph must not surface a bare
+        # KeyError from numpy's lazy dict access.
+        path = tmp_path / "r.npz"
+        save_readset(ReadSet.from_strings(["ACGT"]), path)
+        with pytest.raises(ValueError, match="missing keys"):
+            load_graph(path)
+
     def test_pipeline_checkpoint(self, tmp_path):
         # align once, save, reload, partition: same edge cut
         from repro.align.overlapper import OverlapConfig, OverlapDetector
@@ -101,3 +109,54 @@ class TestReadSetStore:
         g2, r2 = load_graph(gp), load_readset(rp)
         assert g2.n_edges == g.n_edges
         assert r2.total_bases == reads.total_bases
+
+
+class TestCorruptedArchives:
+    """Loaders must fail with ValueError, never a bare KeyError."""
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ValueError, match="not a graph archive"):
+            load_graph(path)
+        with pytest.raises(ValueError, match="not a readset archive"):
+            load_readset(path)
+
+    def test_graph_archive_missing_keys(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, version=np.int64(1), n_nodes=np.int64(2))
+        with pytest.raises(ValueError, match="missing keys"):
+            load_graph(path)
+
+    def test_readset_archive_missing_keys(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, version=np.int64(1))
+        with pytest.raises(ValueError, match="missing keys"):
+            load_readset(path)
+
+    def test_missing_key_message_names_the_keys(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, version=np.int64(1), n_nodes=np.int64(2))
+        with pytest.raises(ValueError, match="eu"):
+            load_graph(path)
+
+    def test_graph_version_mismatch(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["version"] = np.int64(99)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version 99"):
+            load_graph(path)
+
+    def test_readset_version_mismatch(self, tmp_path):
+        path = tmp_path / "r.npz"
+        save_readset(ReadSet.from_strings(["ACGT"]), path)
+        with np.load(path, allow_pickle=True) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["version"] = np.int64(99)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version 99"):
+            load_readset(path)

@@ -29,7 +29,7 @@ BAD_SOURCE = textwrap.dedent(
 class TestRegistry:
     def test_all_rules_registered(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["DET001", "MPI001", "MPI002", "MPI003", "PERF001", "PERF002"]
+        assert ids == ["ARCH001", "DET001", "MPI001", "MPI002", "MPI003", "PERF001", "PERF002"]
 
     def test_every_rule_has_summary_and_severity(self):
         for rule in all_rules():

@@ -1,0 +1,119 @@
+"""True-positive / true-negative fixtures for ARCH001."""
+
+import textwrap
+
+from repro.lint import Severity, lint_source, select_rules
+
+KERNEL_WITH_MPI = """
+from repro.mpi import SimCluster
+
+def trim_kernel(dag, part):
+    return []
+"""
+
+
+def arch_findings(src, path="src/repro/distributed/fixture.py"):
+    return lint_source(
+        textwrap.dedent(src), path=path, rules=select_rules(["ARCH001"])
+    )
+
+
+class TestARCH001KernelImportsMpi:
+    def test_kernel_module_importing_mpi_flagged(self):
+        fs = arch_findings(KERNEL_WITH_MPI)
+        assert len(fs) == 1
+        assert fs[0].rule == "ARCH001"
+        assert fs[0].severity is Severity.ERROR
+        assert "backend-agnostic" in fs[0].message
+
+    def test_plain_import_flagged(self):
+        fs = arch_findings(
+            """
+            import repro.mpi.cluster
+
+            def trim_kernel(dag, part):
+                return []
+            """
+        )
+        assert len(fs) == 1
+
+    def test_from_repro_import_mpi_flagged(self):
+        fs = arch_findings(
+            """
+            from repro import mpi
+
+            def trim_kernel(dag, part):
+                return []
+            """
+        )
+        assert len(fs) == 1
+
+    def test_every_mpi_import_reported(self):
+        fs = arch_findings(
+            """
+            from repro.mpi import SimCluster
+            from repro.mpi.timing import CommCostModel
+
+            def trim_kernel(dag, part):
+                return []
+            """
+        )
+        assert len(fs) == 2
+
+    def test_driver_module_without_kernels_clean(self):
+        # Orchestration modules may import mpi freely.
+        fs = arch_findings(
+            """
+            from repro.mpi import SimCluster
+
+            def run_parallel(cluster, dag):
+                return cluster.run(lambda comm, d: None, dag)
+            """
+        )
+        assert fs == []
+
+    def test_kernel_module_without_mpi_clean(self):
+        fs = arch_findings(
+            """
+            import numpy as np
+
+            def trim_kernel(dag, part):
+                return np.empty(0, dtype=np.int64)
+            """
+        )
+        assert fs == []
+
+    def test_outside_distributed_package_clean(self):
+        fs = arch_findings(KERNEL_WITH_MPI, path="src/repro/mpi/fixture.py")
+        assert fs == []
+
+    def test_windows_path_separators_normalized(self):
+        fs = arch_findings(
+            KERNEL_WITH_MPI, path="src\\repro\\distributed\\fixture.py"
+        )
+        assert len(fs) == 1
+
+    def test_noqa_suppresses(self):
+        fs = arch_findings(
+            """
+            from repro.mpi import SimCluster  # noqa: ARCH001 - adapter shim
+
+            def trim_kernel(dag, part):
+                return []
+            """
+        )
+        assert fs == []
+
+    def test_shipped_kernel_modules_are_clean(self):
+        # The real stage modules must satisfy their own rule.
+        from pathlib import Path
+
+        from repro.lint import lint_paths
+
+        repo = Path(__file__).resolve().parents[2]
+        findings = [
+            f
+            for f in lint_paths([repo / "src" / "repro" / "distributed"])
+            if f.rule == "ARCH001"
+        ]
+        assert findings == []

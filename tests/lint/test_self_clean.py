@@ -4,13 +4,15 @@ Runs the full rule set over ``src/repro``, ``examples``, and
 ``benchmarks`` and asserts zero findings of *any* severity (so
 ``python -m repro lint ... --strict`` exits 0).  Every future PR that
 introduces a rank-dependent collective, a reserved tag, a
-mutate-after-send race, an unseeded RNG, or an untimed compute loop
-fails tier-1 here — the lint net the scaling roadmap relies on.
+mutate-after-send race, an unseeded RNG, an untimed compute loop, or
+an mpi import in a kernel module (ARCH001) fails tier-1 here — the
+lint net the scaling roadmap relies on.
 """
 
 from pathlib import Path
 
-from repro.lint import Severity, lint_paths
+from repro.cli import main as cli_main
+from repro.lint import Severity, all_rules, lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -31,3 +33,11 @@ def test_src_repro_has_zero_error_findings():
 def test_whole_tree_is_strict_clean():
     findings = lint_paths(_lintable("src/repro", "examples", "benchmarks"))
     assert findings == [], "\n" + "\n".join(f.format_text() for f in findings)
+
+
+def test_cli_strict_lint_over_src_exits_zero(capsys):
+    # The exact gate CI runs: `repro lint --strict src/repro`, with the
+    # full rule set (ARCH001 included) registered.
+    assert "ARCH001" in {r.id for r in all_rules()}
+    assert cli_main(["lint", "--strict", str(REPO_ROOT / "src" / "repro")]) == 0
+    capsys.readouterr()  # swallow the (empty) report

@@ -1,0 +1,134 @@
+"""Execution backends: serial/sim/process equivalence and plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.backend import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    SerialBackend,
+    StageOutcome,
+    create_backend,
+    partition_costs,
+)
+from tests.distributed.conftest import FAST, chain_assembly, dag_of
+
+LABELS_6 = [0, 0, 0, 1, 1, 1]
+STAGE_PARAMS = {
+    "transitive": {"tolerance": 2},
+    "containment": {"min_overlap": 50, "min_identity": 0.9},
+    "dead_ends": {"max_tip_bases": 150},
+    "bubbles": {},
+    "traversal": {},
+}
+
+
+def fresh_dag():
+    assembly, _ = chain_assembly(n=6)
+    return dag_of(assembly, LABELS_6)
+
+
+def run_all_stages(engine):
+    """Run the full cleaning sequence; returns (paths, outcomes)."""
+    outcomes = {}
+    for stage, params in STAGE_PARAMS.items():
+        outcomes[stage] = engine.run_stage(stage, **params)
+    return outcomes["traversal"].result, outcomes
+
+
+class TestSerialBackend:
+    def test_outcome_shape(self):
+        engine = SerialBackend(fresh_dag())
+        out = engine.run_stage("transitive", tolerance=2)
+        assert isinstance(out, StageOutcome)
+        assert out.stage == "transitive"
+        assert out.time_kind == "wall"
+        assert out.elapsed >= 0.0
+
+    def test_context_manager(self):
+        with SerialBackend(fresh_dag()) as engine:
+            assert engine.run_stage("traversal").result
+
+
+class TestPartitionCosts:
+    def test_counts_alive_nodes_per_partition(self):
+        dag = fresh_dag()
+        assert partition_costs(dag).tolist() == [3.0, 3.0]
+        dag.node_alive[0] = False
+        assert partition_costs(dag).tolist() == [2.0, 3.0]
+
+
+class TestCreateBackend:
+    def test_names(self):
+        assert BACKEND_NAMES == ("serial", "sim", "process")
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_creates_each(self, name):
+        engine = create_backend(name, fresh_dag(), cost_model=FAST)
+        try:
+            assert engine.name == name
+            assert engine.time_kind == ("virtual" if name == "sim" else "wall")
+        finally:
+            engine.close()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("threads", fresh_dag())
+
+
+class TestProcessBackend:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(fresh_dag(), workers=-1)
+
+    def test_single_partition_falls_back_to_serial(self):
+        assembly, _ = chain_assembly(n=4)
+        dag = dag_of(assembly, [0, 0, 0, 0])
+        engine = ProcessBackend(dag, workers=4)
+        try:
+            out = engine.run_stage("traversal")
+            assert out.result  # ran fine without ever building a pool
+            assert engine._pool is None
+        finally:
+            engine.close()
+
+    def test_real_pool_matches_serial(self):
+        # workers=2 forces a genuine pool even on single-core hosts.
+        serial_dag, process_dag = fresh_dag(), fresh_dag()
+        serial_paths, _ = run_all_stages(SerialBackend(serial_dag))
+        with ProcessBackend(process_dag, workers=2) as engine:
+            process_paths, outcomes = run_all_stages(engine)
+            assert engine._pool is not None  # the pool really ran
+        assert process_paths == serial_paths
+        assert (process_dag.node_alive == serial_dag.node_alive).all()
+        assert (process_dag.edge_alive == serial_dag.edge_alive).all()
+        assert all(o.time_kind == "wall" for o in outcomes.values())
+
+
+class TestBackendEquivalenceSmall:
+    def test_all_backends_identical_masks_and_paths(self):
+        results = {}
+        for name in BACKEND_NAMES:
+            dag = fresh_dag()
+            engine = create_backend(name, dag, workers=2, cost_model=FAST)
+            try:
+                paths, _ = run_all_stages(engine)
+            finally:
+                engine.close()
+            results[name] = (paths, dag.node_alive.copy(), dag.edge_alive.copy())
+        base_paths, base_nodes, base_edges = results["serial"]
+        for name in ("sim", "process"):
+            paths, nodes, edges = results[name]
+            assert paths == base_paths, name
+            assert (nodes == base_nodes).all(), name
+            assert (edges == base_edges).all(), name
+
+    def test_sim_backend_reports_virtual_time(self):
+        dag = fresh_dag()
+        engine = create_backend("sim", dag, cost_model=FAST)
+        try:
+            out = engine.run_stage("transitive", tolerance=2)
+        finally:
+            engine.close()
+        assert out.time_kind == "virtual"
+        assert out.elapsed > 0.0
