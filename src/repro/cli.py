@@ -185,13 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static MPI-correctness checks for the simulated cluster",
+        help="static correctness checks (MPI model + kernel purity)",
         description=(
-            "AST checks for the simulated-MPI programming model: "
-            "MPI001 collective-symmetry, MPI002 reserved-tag, "
-            "MPI003 mutate-after-send, DET001 unseeded-rng, "
-            "PERF001 untimed-compute, PERF002 scalarized-hot-loop, "
-            "ARCH001 kernel-imports-mpi.  "
+            "AST checks for the simulated-MPI programming model and the "
+            "distributed kernel contract: MPI001 collective-symmetry, "
+            "MPI002 reserved-tag, MPI003 mutate-after-send, DET001 "
+            "unseeded-rng, PERF001 untimed-compute, PERF002 "
+            "scalarized-hot-loop, ARCH001 kernel-imports-mpi, plus the "
+            "whole-program rules PURE001 kernel-mutates-state, PURE002 "
+            "kernel-reaches-nondeterminism, and ARCH002 stage-contract "
+            "(interprocedural, resolved over the full call graph).  "
             "Suppress per line with `# noqa: RULEID`."
         ),
     )
@@ -206,6 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="exit nonzero on warnings too, not just errors",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule counts, files analyzed, and cache hit rate",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings fingerprinted in FILE (adopt-then-burn-down)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline FILE and exit 0",
     )
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
@@ -391,7 +409,14 @@ def _cmd_lint(args) -> int:
         for rule in all_rules():
             print(f"{rule.id}  [{rule.severity}]  {rule.summary}")
         return 0
-    return lint_run(args.paths, fmt=args.format, strict=args.strict)
+    return lint_run(
+        args.paths,
+        fmt=args.format,
+        strict=args.strict,
+        stats=args.stats,
+        baseline=args.baseline,
+        update_baseline=args.write_baseline,
+    )
 
 
 _COMMANDS = {

@@ -19,11 +19,27 @@ DET001    warning   ``random.*`` / ``np.random.*`` global-state calls
 PERF001   warning   compute loops in rank functions outside ``comm.timed()``
 PERF002   warning   per-element ``.tolist()`` loops on the overlap hot path
 ARCH001   error     distributed kernel modules importing ``repro.mpi``
+PURE001   error     kernels mutating parameters/globals (interprocedural)
+PURE002   error     kernels reaching unseeded RNG, wall clock, or I/O
+ARCH002   error     ``register_stage`` kernel/merge contract violations
 ========  ========  =====================================================
 
+The PURE/ARCH002 rules are *whole-program*: ``repro.lint.project``
+parses every linted file once, resolves imports into a package-level
+symbol table, builds a call graph, and propagates per-function effect
+summaries (parameter/global mutation, RNG, clock, I/O, ``repro.mpi``
+use) interprocedurally — a kernel calling a helper in another module
+that mutates shared state is caught, which no per-file rule can do.
+Parsed files and summaries are cached by content hash
+(``repro.lint.cache``), so a second run over an unchanged tree
+re-parses nothing.
+
 Run it as ``python -m repro lint [paths] [--format text|json]
-[--strict]``, or from code via :func:`lint_paths` / :func:`lint_source`.
-Suppress a finding with a trailing ``# noqa: RULEID`` comment.
+[--strict] [--stats] [--baseline FILE [--write-baseline]]``, or from
+code via :func:`lint_paths` / :func:`analyze_paths` /
+:func:`lint_source`.  Suppress a finding with a trailing
+``# noqa: RULEID`` comment; adopt a legacy tree's findings with
+``--baseline`` and burn them down over time.
 
 The static pass pairs with a *runtime* sanitizer:
 ``SimCluster(..., sanitize=True)`` fingerprints every payload at send
@@ -33,8 +49,13 @@ race) and reports unconsumed mailbox messages at shutdown as
 :class:`~repro.mpi.simcomm.MessageLeakError`.
 """
 
+from repro.lint.cache import DEFAULT_CACHE, LintCache
 from repro.lint.context import FileContext
 from repro.lint.driver import (
+    LintRun,
+    LintStats,
+    UsageError,
+    analyze_paths,
     format_findings,
     iter_python_files,
     lint_file,
@@ -42,22 +63,44 @@ from repro.lint.driver import (
     lint_source,
     run,
 )
-from repro.lint.findings import Finding, Severity
-from repro.lint.registry import Rule, all_rules, get_rule, register, select_rules
+from repro.lint.findings import Finding, Severity, finding_fingerprints
+from repro.lint.project import ProjectContext, summarize_file
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    file_rules,
+    get_rule,
+    project_rules,
+    register,
+    select_rules,
+)
 
 __all__ = [
     "FileContext",
+    "ProjectContext",
+    "summarize_file",
     "Finding",
     "Severity",
+    "finding_fingerprints",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
+    "file_rules",
+    "project_rules",
     "get_rule",
     "select_rules",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "analyze_paths",
     "iter_python_files",
     "format_findings",
     "run",
+    "LintCache",
+    "DEFAULT_CACHE",
+    "LintRun",
+    "LintStats",
+    "UsageError",
 ]

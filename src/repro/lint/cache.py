@@ -1,0 +1,76 @@
+"""Content-hash incremental cache for parsed files and effect summaries.
+
+Whole-program linting parses every file and derives a
+:class:`~repro.lint.project.FileSummary` per module.  Both are pure
+functions of the source text, so the cache keys each path by the
+SHA-256 of its contents: a second lint of an unchanged tree re-parses
+*zero* files (the tier-1 self-clean gate asserts this on the
+:attr:`LintCache.parses` / :attr:`LintCache.hits` counters, and
+``repro lint --stats`` reports the hit rate).
+
+The default cache is process-global (:data:`DEFAULT_CACHE`) so
+repeated in-process runs — the strict gate, editor integrations, the
+CLI under a daemon — share it.  Pass a private :class:`LintCache` to
+``analyze_paths`` for isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.lint.context import FileContext
+from repro.lint.project import FileSummary, summarize_file
+
+__all__ = ["CacheEntry", "LintCache", "DEFAULT_CACHE"]
+
+
+@dataclass
+class CacheEntry:
+    """Parsed context plus derived summary for one file version."""
+
+    digest: str
+    ctx: FileContext
+    summary: FileSummary
+
+
+class LintCache:
+    """Maps ``path`` to its latest parsed/summarized version."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CacheEntry] = {}
+        #: files parsed (cache misses) over the cache's lifetime.
+        self.parses = 0
+        #: lookups served without re-parsing.
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @staticmethod
+    def digest_of(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def file_entry(self, path: str, source: str) -> CacheEntry:
+        """Parsed entry for one file, reusing an unchanged version.
+
+        Raises :class:`SyntaxError` on unparsable source (never
+        cached, so a fixed file is re-checked immediately).
+        """
+        digest = self.digest_of(source)
+        entry = self._entries.get(path)
+        if entry is not None and entry.digest == digest:
+            self.hits += 1
+            return entry
+        self.parses += 1
+        ctx = FileContext.from_source(source, path=path)
+        entry = CacheEntry(digest=digest, ctx=ctx, summary=summarize_file(ctx))
+        self._entries[path] = entry
+        return entry
+
+
+#: process-global cache shared by default across lint runs.
+DEFAULT_CACHE = LintCache()

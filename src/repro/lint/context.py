@@ -23,11 +23,22 @@ __all__ = [
     "is_rank_dependent",
     "dotted_name",
     "literal_int",
+    "MUTATING_METHODS",
 ]
 
 #: collective operations of the simulated runtime.
 COLLECTIVE_METHODS = frozenset(
     {"bcast", "gather", "scatter", "allgather", "reduce", "allreduce", "alltoall", "barrier"}
+)
+
+#: method calls that mutate their receiver in place (shared by the
+#: mutate-after-send rule and the interprocedural purity analysis).
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "sort", "reverse", "update", "add", "discard", "setdefault",
+        "fill", "resize", "put", "itemset",
+    }
 )
 
 #: point-to-point operations, mapped to the positional index of their

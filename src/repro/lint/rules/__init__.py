@@ -1,3 +1,9 @@
 """Rule modules; importing this package registers every rule."""
 
-from repro.lint.rules import arch, determinism, mpi, perf  # noqa: F401 (registration side effect)
+from repro.lint.rules import (  # noqa: F401 (registration side effect)
+    arch,
+    determinism,
+    mpi,
+    perf,
+    purity,
+)

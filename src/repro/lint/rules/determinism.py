@@ -6,6 +6,19 @@ state and makes runs non-reproducible (and, inside rank functions,
 thread-schedule-dependent).  The project convention is an explicit
 seeded generator: ``np.random.default_rng(seed)`` or
 ``random.Random(seed)``.
+
+Flagged forms:
+
+- ``np.random.<draw>(...)`` / ``numpy.random.<draw>(...)``;
+- ``random.<draw>(...)`` when the stdlib module is imported —
+  including the in-place reorderers ``random.shuffle`` /
+  ``random.choice`` / ``random.sample``;
+- bare calls of names *imported from* ``random`` or ``numpy.random``
+  (``from random import shuffle`` then ``shuffle(xs)`` hits exactly
+  the same global generator the dotted form does).
+
+Seeded constructors and stateless types (``default_rng``, ``Random``,
+``Generator``, bit generators) are never flagged.
 """
 
 from __future__ import annotations
@@ -28,6 +41,23 @@ _ALLOWED_TAILS = frozenset(
 
 _NUMPY_PREFIXES = ("np.random.", "numpy.random.")
 
+#: modules whose from-imports are global-generator draws.
+_FROM_MODULES = ("random", "numpy.random")
+
+
+def _from_import_draws(tree: ast.Module) -> dict[str, str]:
+    """Local alias -> dotted global-state draw, from ``from`` imports."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or node.level:
+            continue
+        if node.module not in _FROM_MODULES:
+            continue
+        for alias in node.names:
+            if alias.name != "*" and alias.name not in _ALLOWED_TAILS:
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
 
 @register
 class UnseededRng(Rule):
@@ -41,13 +71,14 @@ class UnseededRng(Rule):
             and any(a.name == "random" and a.asname is None for a in node.names)
             for node in ast.walk(ctx.tree)
         )
+        from_draws = _from_import_draws(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = dotted_name(node.func)
             if name is None:
                 continue
-            offender = self._offending_call(name, plain_random_imported)
+            offender = self._offending_call(name, plain_random_imported, from_draws)
             if offender is None:
                 continue
             yield self.finding(
@@ -59,7 +90,9 @@ class UnseededRng(Rule):
             )
 
     @staticmethod
-    def _offending_call(name: str, plain_random_imported: bool) -> str | None:
+    def _offending_call(
+        name: str, plain_random_imported: bool, from_draws: dict[str, str]
+    ) -> str | None:
         for prefix in _NUMPY_PREFIXES:
             if name.startswith(prefix):
                 tail = name[len(prefix):].split(".", 1)[0]
@@ -69,4 +102,6 @@ class UnseededRng(Rule):
             tail = name.split(".", 2)[1]
             if tail not in _ALLOWED_TAILS:
                 return name
+        if "." not in name and name in from_draws:
+            return from_draws[name]
         return None

@@ -17,6 +17,7 @@ from typing import Iterator
 
 from repro.lint.context import (
     COLLECTIVE_METHODS,
+    MUTATING_METHODS,
     P2P_TAG_POSITION,
     FileContext,
     comm_param_name,
@@ -32,14 +33,8 @@ __all__ = ["CollectiveSymmetry", "ReservedTag", "MutateAfterSend"]
 #: most negative tag user code may pass explicitly.
 RESERVED_TAG_CEILING = -1000
 
-#: method calls that mutate their receiver in place.
-_MUTATING_METHODS = frozenset(
-    {
-        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
-        "sort", "reverse", "update", "add", "discard", "setdefault",
-        "fill", "resize", "put", "itemset",
-    }
-)
+#: kept as a module alias for the shared in-place mutator set.
+_MUTATING_METHODS = MUTATING_METHODS
 
 
 def _method_call(node: ast.AST, methods: frozenset[str] | dict) -> tuple[str, str] | None:

@@ -40,7 +40,7 @@ class TestRegistry:
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
-            register_stage("transitive", lambda *a: None, lambda *a: None)
+            register_stage("transitive", lambda *a: None, lambda *a: None)  # noqa: ARCH002 - duplicate-name probe
 
 
 class TestUnionProposals:

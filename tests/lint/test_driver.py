@@ -4,16 +4,22 @@ import io
 import json
 import textwrap
 
+import pytest
+
 from repro.cli import main
 from repro.lint import (
+    LintCache,
     Severity,
+    UsageError,
     all_rules,
+    analyze_paths,
     format_findings,
     iter_python_files,
     lint_paths,
     lint_source,
     run,
 )
+from repro.lint.driver import load_baseline
 
 BAD_SOURCE = textwrap.dedent(
     """
@@ -29,7 +35,18 @@ BAD_SOURCE = textwrap.dedent(
 class TestRegistry:
     def test_all_rules_registered(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["ARCH001", "DET001", "MPI001", "MPI002", "MPI003", "PERF001", "PERF002"]
+        assert ids == [
+            "ARCH001",
+            "ARCH002",
+            "DET001",
+            "MPI001",
+            "MPI002",
+            "MPI003",
+            "PERF001",
+            "PERF002",
+            "PURE001",
+            "PURE002",
+        ]
 
     def test_every_rule_has_summary_and_severity(self):
         for rule in all_rules():
@@ -48,6 +65,23 @@ class TestSuppression:
 
     def test_noqa_for_other_rule_does_not_silence(self):
         src = "def fn(comm):\n    comm.send('x', 1, tag=-1000)  # noqa: DET001\n"
+        assert [f.rule for f in lint_source(src)] == ["MPI002"]
+
+    def test_noqa_rule_id_is_case_insensitive(self):
+        src = "def fn(comm):\n    comm.send('x', 1, tag=-1000)  # noqa: mpi002\n"
+        assert lint_source(src) == []
+
+    def test_noqa_with_multiple_rule_ids(self):
+        src = (
+            "import random\n"
+            "def fn(comm):\n"
+            "    comm.send(random.random(), 1, tag=-1000)  # noqa: MPI002,DET001\n"
+        )
+        assert lint_source(src) == []
+
+    def test_noqa_multi_rule_list_still_selective(self):
+        # listing other rules does not grant a blanket waiver
+        src = "def fn(comm):\n    comm.send('x', 1, tag=-1000)  # noqa: DET001, PURE001\n"
         assert [f.rule for f in lint_source(src)] == ["MPI002"]
 
 
@@ -114,6 +148,30 @@ class TestPathsAndExitCodes:
     def test_run_missing_path_is_usage_error(self):
         assert run(["definitely/not/a/path"], stream=io.StringIO()) == 2
 
+    def test_existing_non_python_file_is_usage_error(self, tmp_path):
+        # `repro lint README.md` must fail loudly, not report "clean"
+        readme = tmp_path / "README.md"
+        readme.write_text("# docs, not code\n")
+        with pytest.raises(UsageError, match="not a python file"):
+            iter_python_files([readme])
+        assert run([str(readme)], stream=io.StringIO()) == 2
+
+    def test_cli_non_python_file_exits_two(self, tmp_path, capsys):
+        readme = tmp_path / "README.md"
+        readme.write_text("# docs\n")
+        assert main(["lint", str(readme)]) == 2
+        assert "not a python file" in capsys.readouterr().err
+
+    def test_cli_syntax_error_text_and_json(self, tmp_path, capsys):
+        mod = tmp_path / "broken.py"
+        mod.write_text("def broken(:\n")
+        assert main(["lint", str(mod)]) == 1
+        assert "E999" in capsys.readouterr().out
+        assert main(["lint", str(mod), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert [d["rule"] for d in data] == ["E999"]
+        assert "syntax error" in data[0]["message"]
+
     def test_cli_lint_subcommand(self, tmp_path, capsys):
         mod = tmp_path / "bad.py"
         mod.write_text(BAD_SOURCE)
@@ -125,5 +183,69 @@ class TestPathsAndExitCodes:
     def test_cli_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rid in ("MPI001", "MPI002", "MPI003", "DET001", "PERF001"):
+        for rid in ("MPI001", "MPI002", "MPI003", "DET001", "PERF001", "PURE001", "ARCH002"):
             assert rid in out
+
+
+class TestBaseline:
+    def test_write_then_filter_round_trip(self, tmp_path):
+        mod = tmp_path / "bad.py"
+        mod.write_text(BAD_SOURCE)
+        base = tmp_path / "lint-baseline.json"
+        sink = io.StringIO()
+
+        # adopt the current findings...
+        assert run([str(mod)], baseline=str(base), update_baseline=True, stream=sink) == 0
+        data = json.loads(base.read_text())
+        assert data["version"] == 1
+        assert data["count"] == len(data["fingerprints"]) > 0
+
+        # ...then the same tree passes against the baseline
+        assert run([str(mod)], baseline=str(base), stream=sink) == 0
+        assert "suppressed" in sink.getvalue()
+
+    def test_new_finding_not_masked_by_baseline(self, tmp_path):
+        mod = tmp_path / "bad.py"
+        mod.write_text(BAD_SOURCE)
+        base = tmp_path / "baseline.json"
+        sink = io.StringIO()
+        assert run([str(mod)], baseline=str(base), update_baseline=True, stream=sink) == 0
+
+        # introduce a fresh violation: only it should survive filtering
+        mod.write_text(BAD_SOURCE + "\n\ndef g(comm):\n    comm.send('x', 1, tag=-1001)\n")
+        sink = io.StringIO()
+        assert run([str(mod)], baseline=str(base), stream=sink) == 1
+        assert "MPI002" in sink.getvalue()
+        assert "MPI001" not in sink.getvalue()
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path):
+        base = tmp_path / "baseline.json"
+        base.write_text("{\"not\": \"fingerprints\"}")
+        with pytest.raises(UsageError, match="malformed baseline"):
+            load_baseline(base)
+        assert run(["src"], baseline=str(base), stream=io.StringIO()) == 2
+
+    def test_write_baseline_requires_baseline_path(self, tmp_path):
+        mod = tmp_path / "ok.py"
+        mod.write_text("x = 1\n")
+        assert run([str(mod)], update_baseline=True, stream=io.StringIO()) == 2
+
+
+class TestStats:
+    def test_analyze_paths_reports_stats(self, tmp_path):
+        mod = tmp_path / "bad.py"
+        mod.write_text(BAD_SOURCE)
+        result = analyze_paths([mod], cache=LintCache())
+        assert result.stats.files == 1
+        assert result.stats.parses == 1
+        assert result.stats.cache_hits == 0
+        assert result.stats.rule_counts == {"MPI001": 1, "DET001": 1}
+
+    def test_cli_stats_flag_prints_report(self, tmp_path, capsys):
+        mod = tmp_path / "ok.py"
+        mod.write_text("def fn(comm):\n    comm.barrier()\n")
+        assert main(["lint", str(mod), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "files analyzed:" in out
+        assert "cache hits:" in out
+        assert "project functions:" in out

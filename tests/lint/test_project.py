@@ -1,0 +1,253 @@
+"""Whole-program context: symbol table, call graph, effect summaries."""
+
+import textwrap
+
+from repro.lint import FileContext, ProjectContext, summarize_file
+from repro.lint.project import module_name_for
+
+
+def _summary(src, path="mod.py", module=None):
+    ctx = FileContext.from_source(textwrap.dedent(src), path=path)
+    return summarize_file(ctx, module=module)
+
+
+def _project(*file_specs):
+    """Build a ProjectContext from (path, module, source) triples."""
+    return ProjectContext(
+        [_summary(src, path=path, module=module) for path, module, src in file_specs]
+    )
+
+
+class TestModuleNames:
+    def test_package_walk(self, tmp_path):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("x = 1\n")
+        assert module_name_for(pkg / "mod.py") == "pkg.sub.mod"
+
+    def test_init_file_names_the_package(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        assert module_name_for(pkg / "__init__.py") == "pkg"
+
+    def test_bare_script_uses_stem(self, tmp_path):
+        script = tmp_path / "script.py"
+        script.write_text("x = 1\n")
+        assert module_name_for(script) == "script"
+
+
+class TestSummaries:
+    def test_functions_and_qualnames(self):
+        s = _summary(
+            """
+            def top():
+                def inner():
+                    pass
+
+            class C:
+                def method(self):
+                    pass
+            """
+        )
+        assert set(s.functions) == {"top", "top.<locals>.inner", "C.method"}
+        assert s.functions["C.method"].is_method
+        assert not s.functions["top.<locals>.inner"].is_module_level
+
+    def test_param_mutation_effect(self):
+        s = _summary(
+            """
+            def f(xs):
+                xs.append(1)
+            """
+        )
+        effects = s.functions["f"].effects
+        assert any(e.kind == "mutates-param" and e.target == "xs" for e in effects)
+
+    def test_rebind_kills_param_liveness(self):
+        # the kway_refine idiom: copy, then mutate the copy freely
+        s = _summary(
+            """
+            def f(labels):
+                labels = labels.copy()
+                labels[0] = 9
+            """
+        )
+        assert not s.functions["f"].effects
+
+    def test_augassign_does_not_mask_itself(self):
+        s = _summary(
+            """
+            def f(xs):
+                xs += [1]
+            """
+        )
+        assert any(e.kind == "mutates-param" for e in s.functions["f"].effects)
+
+    def test_global_statement_recorded(self):
+        s = _summary(
+            """
+            COUNT = 0
+
+            def bump():
+                global COUNT
+                COUNT += 1
+            """
+        )
+        assert any(e.kind == "mutates-global" for e in s.functions["bump"].effects)
+
+
+class TestCallGraph:
+    PKG = [
+        (
+            "pkg/a.py",
+            "pkg.a",
+            """
+            from pkg.b import helper
+
+            def entry(x):
+                return helper(x)
+            """,
+        ),
+        (
+            "pkg/b.py",
+            "pkg.b",
+            """
+            def helper(x):
+                return leaf(x)
+
+            def leaf(x):
+                return x + 1
+            """,
+        ),
+    ]
+
+    def test_cross_module_resolution(self):
+        project = _project(*self.PKG)
+        callee = project.resolve_call(project.functions["pkg.a.entry"], "helper")
+        assert callee is not None and callee.fq == "pkg.b.helper"
+
+    def test_reachable_from_is_transitive(self):
+        project = _project(*self.PKG)
+        assert project.reachable_from("pkg.a.entry") == {"pkg.b.helper", "pkg.b.leaf"}
+
+    def test_unresolvable_call_returns_none(self):
+        project = _project(*self.PKG)
+        assert project.resolve_call(project.functions["pkg.a.entry"], "np.zeros") is None
+
+
+class TestEffectPropagation:
+    def test_param_mutation_propagates_through_argument(self):
+        project = _project(
+            (
+                "pkg/a.py",
+                "pkg.a",
+                """
+                from pkg.b import poke
+
+                def caller(dag):
+                    poke(dag)
+                """,
+            ),
+            (
+                "pkg/b.py",
+                "pkg.b",
+                """
+                def poke(d):
+                    d.node_alive[0] = False
+                """,
+            ),
+        )
+        summ = project.summary("pkg.a.caller")
+        assert "dag" in summ.mutated_params
+        via, effect, owner = summ.mutated_params["dag"]
+        assert via == ("pkg.b.poke",)
+        assert owner == "pkg.b.poke"
+
+    def test_fresh_local_argument_does_not_propagate(self):
+        # the subpath_kernel idiom: a scratch array created inside the
+        # caller may be mutated by the callee without tainting params
+        project = _project(
+            (
+                "pkg/a.py",
+                "pkg.a",
+                """
+                from pkg.b import fill
+
+                def caller(dag):
+                    scratch = []
+                    fill(scratch)
+                    return scratch
+                """,
+            ),
+            (
+                "pkg/b.py",
+                "pkg.b",
+                """
+                def fill(out):
+                    out.append(1)
+                """,
+            ),
+        )
+        assert project.summary("pkg.a.caller").is_pure
+
+    def test_ambient_effects_propagate_unconditionally(self):
+        project = _project(
+            (
+                "pkg/a.py",
+                "pkg.a",
+                """
+                from pkg.b import stamp
+
+                def caller():
+                    return stamp()
+                """,
+            ),
+            (
+                "pkg/b.py",
+                "pkg.b",
+                """
+                import time
+
+                def stamp():
+                    return time.time()
+                """,
+            ),
+        )
+        assert "clock" in project.summary("pkg.a.caller").ambient
+
+    def test_recursion_reaches_fixpoint(self):
+        project = _project(
+            (
+                "m.py",
+                "m",
+                """
+                def a(xs, n):
+                    if n:
+                        b(xs, n - 1)
+
+                def b(xs, n):
+                    xs.append(n)
+                    a(xs, n)
+                """,
+            )
+        )
+        assert "xs" in project.summary("m.a").mutated_params
+
+    def test_seeded_rng_is_not_ambient(self):
+        project = _project(
+            (
+                "m.py",
+                "m",
+                """
+                import numpy as np
+
+                def draw(seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.random()
+                """,
+            )
+        )
+        assert project.summary("m.draw").is_pure

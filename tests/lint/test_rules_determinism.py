@@ -68,3 +68,67 @@ class TestDET001UnseededRng:
             """
         )
         assert fs == []
+
+    def test_global_shuffle_choice_sample_flagged(self):
+        fs = findings(
+            """
+            import random
+            def scramble(xs):
+                random.shuffle(xs)
+                pick = random.choice(xs)
+                few = random.sample(xs, 2)
+                return pick, few
+            """
+        )
+        assert len(fs) == 3
+        assert all(f.rule == "DET001" for f in fs)
+
+    def test_from_imported_draws_flagged(self):
+        # `from random import shuffle` hides the module prefix but is
+        # the same hidden-global generator
+        fs = findings(
+            """
+            from random import choice, sample, shuffle
+            def scramble(xs):
+                shuffle(xs)
+                return choice(xs), sample(xs, 2)
+            """
+        )
+        assert len(fs) == 3
+        assert "random.shuffle" in " ".join(f.message for f in fs)
+
+    def test_from_imported_numpy_draws_flagged(self):
+        fs = findings(
+            """
+            from numpy.random import rand
+            x = rand(10)
+            """
+        )
+        assert len(fs) == 1
+        assert "numpy.random.rand" in fs[0].message
+
+    def test_seeded_instance_shuffle_clean(self):
+        fs = findings(
+            """
+            import random
+            import numpy as np
+            r = random.Random(7)
+            rng = np.random.default_rng(3)
+            def scramble(xs):
+                r.shuffle(xs)
+                rng.shuffle(xs)
+                return r.sample(xs, 2)
+            """
+        )
+        assert fs == []
+
+    def test_from_imported_seeded_factories_clean(self):
+        fs = findings(
+            """
+            from numpy.random import default_rng
+            from random import Random
+            rng = default_rng(0)
+            r = Random(1)
+            """
+        )
+        assert fs == []

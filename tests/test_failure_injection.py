@@ -122,7 +122,7 @@ class TestRuntimeFailures:
     def test_mismatched_collective_deadlocks_cleanly(self):
         def fn(comm):
             if comm.rank == 0:
-                comm.gather(1, root=0)  # rank 1 never joins
+                comm.gather(1, root=0)  # noqa: MPI001 - deliberate deadlock fixture
             # rank 1 returns immediately
 
         with pytest.raises(RuntimeError, match="timed out|failed"):
