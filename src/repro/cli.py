@@ -8,8 +8,11 @@ Usage examples::
     python -m repro overlap reads.fastq -o overlaps.tsv --workers 4
     python -m repro assemble reads.fastq -o contigs.fasta --partitions 4 --workers 4
     python -m repro assemble reads.fastq -o contigs.fasta --backend process --timings t.json
+    python -m repro assemble reads.fastq -o contigs.fasta --checkpoint ckpt.npz --resume
+    python -m repro assemble reads.fastq -o contigs.fasta --fault-plan random:7 --retries 3
     python -m repro bench overlap -o BENCH_overlap.json
     python -m repro bench finish -o BENCH_finish.json
+    python -m repro bench chaos -o BENCH_chaos.json
     python -m repro stats contigs.fasta
 """
 
@@ -95,8 +98,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--timings",
         metavar="PATH",
-        help="write per-stage durations as JSON (tagged with the backend "
-        "and whether distributed-stage times are wall or virtual)",
+        help="write per-stage durations as JSON (tagged with the backend, "
+        "whether distributed-stage times are wall or virtual, and the "
+        "fault report when injection or recovery happened)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="persist a stage checkpoint (.npz) after every completed "
+        "distributed stage; combine with --resume to restart from it",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint, skipping already-completed stages "
+        "(starts fresh when the checkpoint file does not exist yet)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        metavar="PATH|random:SEED",
+        help="inject deterministic faults: path to a FaultPlan JSON file, "
+        "or random:SEED to generate a seeded chaos plan "
+        "(see docs/robustness.md)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per distributed stage/partition before serial "
+        "fallback (default: 3)",
     )
     p.add_argument("--seed", type=int, default=0)
 
@@ -182,6 +213,39 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="subset of dataset names to run (default: D1 D2)",
     )
+    b = bench_sub.add_parser(
+        "chaos",
+        help="measure fault-recovery overhead under seeded fault plans",
+        description=(
+            "Runs the distributed finish stages fault-free and under "
+            "seeded chaos fault plans on each backend, verifies the "
+            "recovered contigs are byte-identical to the fault-free "
+            "run, and writes recovery overhead (retries, respawns, "
+            "fallbacks, slowdown) to the trajectory JSON.  Exits "
+            "nonzero if any faulted run fails to recover the exact "
+            "fault-free contigs."
+        ),
+    )
+    b.add_argument(
+        "-o", "--output", default="BENCH_chaos.json", help="trajectory JSON path"
+    )
+    b.add_argument(
+        "--backends",
+        nargs="*",
+        default=["serial", "sim", "process"],
+        choices=("serial", "sim", "process"),
+        help="backends to chaos-test (default: all three)",
+    )
+    b.add_argument(
+        "--seeds",
+        type=int,
+        nargs="*",
+        default=[1, 2],
+        help="fault-plan seeds to sweep per backend",
+    )
+    b.add_argument(
+        "--partitions", type=int, default=4, help="partition count (power of two)"
+    )
 
     p = sub.add_parser(
         "lint",
@@ -194,7 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
             "scalarized-hot-loop, ARCH001 kernel-imports-mpi, plus the "
             "whole-program rules PURE001 kernel-mutates-state, PURE002 "
             "kernel-reaches-nondeterminism, and ARCH002 stage-contract "
-            "(interprocedural, resolved over the full call graph).  "
+            "(interprocedural, resolved over the full call graph), and "
+            "ROB001 swallowed-exception.  "
             "Suppress per line with `# noqa: RULEID`."
         ),
     )
@@ -284,13 +349,46 @@ def _cmd_simulate_community(args) -> int:
     return 0
 
 
+def _parse_fault_plan(spec: str, stages: tuple[str, ...], n_parts: int):
+    """``--fault-plan`` value: a JSON file path or ``random:SEED``."""
+    from repro.faults import FaultPlan
+
+    if spec.startswith("random:") or spec == "random":
+        _, _, seed_text = spec.partition(":")
+        try:
+            seed = int(seed_text) if seed_text else 0
+        except ValueError:
+            raise ValueError(
+                f"bad --fault-plan {spec!r}: expected random:<integer seed>"
+            ) from None
+        return FaultPlan.random(seed, stages, n_parts)
+    with open(spec, encoding="utf-8") as fh:
+        return FaultPlan.from_json(fh.read())
+
+
 def _cmd_assemble(args) -> int:
     from repro.align.overlapper import OverlapConfig
+    from repro.distributed.stages import all_stages
+    from repro.faults import RetryPolicy
 
     reads = _load_reads(args.reads)
     if len(reads) == 0:
         print("error: no reads in input", file=sys.stderr)
         return 1
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 1
+    fault_plan = None
+    if args.fault_plan:
+        stage_names = tuple(spec.name for spec in all_stages())
+        try:
+            fault_plan = _parse_fault_plan(
+                args.fault_plan, stage_names, args.partitions
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    retry = RetryPolicy() if args.retries is None else RetryPolicy(max_attempts=args.retries)
     config = AssemblyConfig(
         n_partitions=args.partitions,
         partition_mode=args.mode,
@@ -298,14 +396,25 @@ def _cmd_assemble(args) -> int:
         overlap_workers=args.workers,
         backend=args.backend,
         backend_workers=args.backend_workers,
+        retry=retry,
+        fault_plan=fault_plan,
         seed=args.seed,
     )
-    result = FocusAssembler(config).assemble(reads)
+    assembler = FocusAssembler(config)
+    result = assembler.finish(
+        assembler.prepare(reads),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     contigs = [
         Read(f"contig_{i}", c) for i, c in enumerate(result.contigs)
     ]
     write_fasta(contigs, args.output)
+    fault_report = result.fault_report
     if args.timings:
+        extra = {}
+        if fault_report is not None and fault_report.has_activity:
+            extra["faults"] = fault_report.to_dict()
         with open(args.timings, "w", encoding="utf-8") as fh:
             fh.write(
                 result.timer.to_json(
@@ -314,6 +423,7 @@ def _cmd_assemble(args) -> int:
                         "time_kind": result.time_kind,
                         "stages": result.virtual_times,
                     },
+                    **extra,
                 )
                 + "\n"
             )
@@ -324,6 +434,10 @@ def _cmd_assemble(args) -> int:
         f"(N50 {s.n50:,} bp, max {s.max_contig:,} bp) "
         f"[{result.backend} backend] -> {args.output}"
     )
+    if fault_report is not None and fault_report.has_activity:
+        print(f"fault report: {fault_report.summary()}")
+    if args.checkpoint:
+        print(f"stage checkpoint at {args.checkpoint}")
     if args.timings:
         print(f"wrote stage timings to {args.timings}")
     return 0
@@ -384,6 +498,15 @@ def _cmd_bench(args) -> int:
             workers=args.workers,
             partitions=tuple(args.partitions),
             dataset_names=args.datasets,
+        )
+    if args.bench_command == "chaos":
+        from repro.bench.chaos_bench import main as bench_chaos_main
+
+        return bench_chaos_main(
+            output=args.output,
+            backends=tuple(args.backends),
+            seeds=tuple(args.seeds),
+            n_partitions=args.partitions,
         )
     raise AssertionError(f"unknown bench command {args.bench_command!r}")
 

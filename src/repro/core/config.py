@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.align.overlapper import OverlapConfig
+from repro.faults import FaultPlan, RetryPolicy
 from repro.graph.coarsen import CoarsenConfig
 from repro.partition.recursive import PartitionConfig
 
@@ -50,6 +51,15 @@ class AssemblyConfig:
     #: partition, capped at the core count).
     backend_workers: int = 0
 
+    # -- fault tolerance (docs/robustness.md) --
+    #: retry/backoff/fallback policy wrapped around every distributed
+    #: stage execution, on every backend.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: deterministic fault plan to inject (None = no injection).  With
+    #: retries enabled the final contigs stay byte-identical to the
+    #: fault-free run under any plan whose faults fit the retry budget.
+    fault_plan: FaultPlan | None = None
+
     # -- graph construction --
     #: offset slack allowed in cluster layouts (0 = exact diagonals).
     layout_tolerance: int = 0
@@ -84,3 +94,5 @@ class AssemblyConfig:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.backend_workers < 0:
             raise ValueError("backend_workers must be non-negative")
+        if self.retry.max_attempts < 1:
+            raise ValueError("retry.max_attempts must be >= 1")

@@ -17,6 +17,7 @@ reads.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +28,8 @@ from repro.core.pipeline import StageTimer
 from repro.core.stats import AssemblyStats
 from repro.distributed.dgraph import DistributedAssemblyGraph, HybridAssembly, enrich_hybrid
 from repro.distributed.traversal import contigs_from_paths
+from repro.faults import FaultInjector, FaultReport
+from repro.io.store import CheckpointState, load_checkpoint, save_checkpoint
 from repro.graph.coarsen import MultilevelGraphSet, build_multilevel_set
 from repro.graph.hybrid import HybridGraphSet, build_hybrid_set
 from repro.graph.overlap_graph import OverlapGraph
@@ -117,6 +120,9 @@ class AssemblyResult:
     backend: str = "sim"
     #: clock kind of ``virtual_times``: "virtual" or "wall".
     time_kind: str = "virtual"
+    #: cumulative fault-injection/retry/recovery accounting from the
+    #: distributed backend (no activity recorded on a clean run).
+    fault_report: FaultReport | None = None
 
     @property
     def stage_times(self) -> dict[str, float]:
@@ -203,12 +209,31 @@ class FocusAssembler:
         np.add.at(votes, (hyb.base_maps[0], result.labels_g0), 1)
         return votes.argmax(axis=1).astype(np.int64)
 
+    def _fingerprint(self, prep: PreparedAssembly, k: int, mode: str) -> dict:
+        """Run identity recorded in checkpoints: a resume against a
+        checkpoint from a different input or configuration is refused."""
+        cfg = self.config
+        return {
+            "n_reads": len(prep.reads),
+            "n_hybrid_nodes": int(prep.hyb.hybrid.n_nodes),
+            "n_partitions": int(k),
+            "partition_mode": mode,
+            "run_trimming": bool(cfg.run_trimming),
+            "transitive_tolerance": int(cfg.transitive_tolerance),
+            "containment_min_overlap": int(cfg.containment_min_overlap),
+            "containment_min_identity": float(cfg.containment_min_identity),
+            "max_tip_bases": int(cfg.max_tip_bases),
+            "seed": int(cfg.seed),
+        }
+
     def finish(
         self,
         prep: PreparedAssembly,
         n_partitions: int | None = None,
         partition_mode: str | None = None,
         backend: str | None = None,
+        checkpoint: str | os.PathLike | None = None,
+        resume: bool = False,
     ) -> AssemblyResult:
         """Partition, trim, traverse, and build contigs.
 
@@ -218,6 +243,16 @@ class FocusAssembler:
         configured backend (``serial``, ``sim``, or ``process``) —
         contigs are byte-identical across backends; only where the
         kernels run and which clock fills ``virtual_times`` changes.
+
+        With ``checkpoint`` set, the alive-masks and completed-stage
+        list are persisted (atomically) after every distributed stage;
+        ``resume=True`` restores that state and re-runs only the
+        stages that had not completed.  A checkpoint whose fingerprint
+        does not match the current run is rejected with
+        :class:`ValueError`; a missing checkpoint file simply starts
+        from the beginning.  Restored stages keep their recorded times
+        in :attr:`AssemblyResult.virtual_times` but add no entry to
+        the :class:`StageTimer` (nothing was executed).
         """
         cfg = self.config
         k = cfg.n_partitions if n_partitions is None else n_partitions
@@ -227,6 +262,13 @@ class FocusAssembler:
             raise ValueError("n_partitions must be a power of two")
         if mode not in ("hybrid", "multilevel"):
             raise ValueError(f"unknown partition_mode {mode!r}")
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
+        ckpt_file: str | None = None
+        if checkpoint is not None:
+            ckpt_file = str(checkpoint)
+            if not ckpt_file.endswith(".npz"):
+                ckpt_file += ".npz"
 
         timer = StageTimer()
         timer.durations.update(prep.timer.durations)
@@ -242,36 +284,90 @@ class FocusAssembler:
                 part.labels_finest = labels_h
 
         dag = DistributedAssemblyGraph(prep.assembly, labels_h)
+        fingerprint = self._fingerprint(prep, k, mode)
+
+        completed: list[str] = []
+        restored_paths: list[list[int]] | None = None
+        if resume and ckpt_file is not None and os.path.exists(ckpt_file):
+            state = load_checkpoint(ckpt_file)
+            if state.fingerprint != fingerprint:
+                raise ValueError(
+                    f"checkpoint {ckpt_file!r} does not match this run: "
+                    f"saved fingerprint {state.fingerprint} != "
+                    f"current {fingerprint}"
+                )
+            dag.node_alive = np.asarray(state.node_alive, dtype=bool)
+            dag.edge_alive = np.asarray(state.edge_alive, dtype=bool)
+            completed = list(state.completed)
+            stage_times.update(
+                {name: float(v) for name, v in state.stage_times.items()}
+            )
+            restored_paths = state.paths
+        restored = frozenset(completed)
+
+        injector = None
+        if cfg.fault_plan is not None and not cfg.fault_plan.empty:
+            injector = FaultInjector(cfg.fault_plan.scaled_to(dag.n_parts))
         engine = create_backend(
             backend_name,
             dag,
             workers=cfg.backend_workers,
             cost_model=self.cost_model,
+            retry=cfg.retry,
+            injector=injector,
         )
 
         def run(stage: str, **params) -> object:
             out = engine.run_stage(stage, **params)
             stage_times[stage] = out.elapsed
+            completed.append(stage)
+            if ckpt_file is not None:
+                save_checkpoint(
+                    CheckpointState(
+                        fingerprint=fingerprint,
+                        completed=list(completed),
+                        node_alive=dag.node_alive,
+                        edge_alive=dag.edge_alive,
+                        stage_times={
+                            name: stage_times[name]
+                            for name in completed
+                            if name in stage_times
+                        },
+                        paths=out.result if stage == "traversal" else None,
+                    ),
+                    ckpt_file,
+                )
             return out.result
 
+        trim_sequence = (
+            ("transitive", {"tolerance": cfg.transitive_tolerance}),
+            (
+                "containment",
+                {
+                    "min_overlap": cfg.containment_min_overlap,
+                    "min_identity": cfg.containment_min_identity,
+                },
+            ),
+            ("dead_ends", {"max_tip_bases": cfg.max_tip_bases}),
+            ("bubbles", {}),
+        )
         try:
             if cfg.run_trimming:
-                with timer.stage("trim"):
-                    run("transitive", tolerance=cfg.transitive_tolerance)
-                    run(
-                        "containment",
-                        min_overlap=cfg.containment_min_overlap,
-                        min_identity=cfg.containment_min_identity,
-                    )
-                    run("dead_ends", max_tip_bases=cfg.max_tip_bases)
-                    run("bubbles")
-                    stage_times["trim_total"] = sum(
-                        stage_times[key]
-                        for key in ("transitive", "containment", "dead_ends", "bubbles")
-                    )
+                pending = [s for s in trim_sequence if s[0] not in restored]
+                if pending:
+                    with timer.stage("trim"):
+                        for name, params in pending:
+                            run(name, **params)
+                stage_times["trim_total"] = sum(
+                    stage_times[key]
+                    for key in ("transitive", "containment", "dead_ends", "bubbles")
+                )
 
-            with timer.stage("traverse"):
-                paths = run("traversal")
+            if "traversal" in restored and restored_paths is not None:
+                paths = restored_paths
+            else:
+                with timer.stage("traverse"):
+                    paths = run("traversal")
         finally:
             engine.close()
 
@@ -295,6 +391,7 @@ class FocusAssembler:
             paths=paths,
             backend=engine.name,
             time_kind=engine.time_kind,
+            fault_report=engine.fault_report,
         )
 
     def assemble(self, reads: ReadSet) -> AssemblyResult:

@@ -1,0 +1,71 @@
+"""RetryPolicy: attempts, capped exponential backoff, per-task deadline.
+
+One policy object is shared by every execution backend; only the
+*granularity* of a retry differs per backend (per-partition kernel on
+serial/process, whole stage on the simulated cluster — see
+docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a backend responds to a failed kernel execution.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` disables
+    retrying entirely.  ``backoff(attempt)`` grows exponentially from
+    ``backoff_base`` and is capped at ``backoff_cap``.
+    ``task_deadline`` bounds one attempt in real seconds (``process``
+    backend: ``future.result`` timeout; ``sim`` backend: the recv
+    deadlock timeout while faults are injected).  When
+    ``fallback_serial`` is set, a backend that exhausts the budget
+    re-runs the failed partitions in-process (without fault injection
+    — the master itself is the fallback worker) instead of raising.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    task_deadline: float | None = 30.0
+    fallback_serial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError("task_deadline must be positive (or None)")
+
+    def allows(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) may run."""
+        return attempt <= self.max_attempts
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before attempt ``attempt + 1``."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+            "task_deadline": self.task_deadline,
+            "fallback_serial": self.fallback_serial,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ValueError(f"malformed retry policy: {exc}") from exc

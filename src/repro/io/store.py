@@ -5,14 +5,29 @@ overlap graph (and the read set it refers to) and resume later is the
 single most useful checkpoint.  Everything is stored in a single
 ``.npz`` archive of numpy arrays — no pickle, no code execution on
 load.
+
+Stage checkpoints (:func:`save_checkpoint` / :func:`load_checkpoint`)
+extend the same format to the distributed finish pipeline: after each
+completed stage the assembler persists the alive-masks, completed
+stage list, per-stage times, and (after traversal) the packed paths,
+so ``repro assemble --resume`` restarts from the last good stage
+instead of the beginning (see docs/robustness.md).
+
+Every archive write is atomic — the bytes go to a temporary file in
+the destination directory which is then ``os.replace``d over the
+target — so a crash mid-write can never leave a truncated or corrupt
+archive: either the previous file survives untouched or the new one
+is complete.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pickle
 import zipfile
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -21,10 +36,19 @@ from repro.graph.overlap_graph import OverlapGraph
 from repro.io.readset import ReadSet
 from repro.io.records import Read
 
-__all__ = ["save_graph", "load_graph", "save_readset", "load_readset"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_readset",
+    "load_readset",
+    "CheckpointState",
+    "save_checkpoint",
+    "load_checkpoint",
+]
 
 _GRAPH_VERSION = 1
 _READSET_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 _GRAPH_KEYS = (
     "version",
@@ -38,6 +62,46 @@ _GRAPH_KEYS = (
     "has_deltas",
 )
 _READSET_KEYS = ("version", "data", "offsets", "ids", "has_quals", "quals", "meta")
+_CHECKPOINT_KEYS = (
+    "version",
+    "fingerprint",
+    "completed",
+    "node_alive",
+    "edge_alive",
+    "stage_times",
+    "has_paths",
+    "paths_flat",
+    "paths_offsets",
+)
+
+
+def _atomic_savez(dest, compressed: bool = True, **arrays) -> None:
+    """Write an ``.npz`` archive atomically (temp file + ``os.replace``).
+
+    File-like destinations are written directly (the caller owns their
+    durability); for paths the archive is fully written and flushed to
+    a sibling temporary file first, so a crash at any point leaves the
+    previous archive intact.  Mimics numpy's extension behavior: a
+    path without ``.npz`` gets it appended.
+    """
+    writer = np.savez_compressed if compressed else np.savez
+    if not isinstance(dest, (str, Path)):
+        writer(dest, **arrays)
+        return
+    final = str(dest)
+    if not final.endswith(".npz"):
+        final += ".npz"
+    tmp = f"{final}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            writer(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        with suppress(OSError):
+            os.remove(tmp)
+        raise
 
 
 @contextmanager
@@ -64,8 +128,8 @@ def _open_archive(source, kind: str, keys: tuple[str, ...], version: int):
 
 
 def save_graph(graph: OverlapGraph, dest) -> None:
-    """Write an OverlapGraph to an ``.npz`` archive."""
-    np.savez_compressed(
+    """Write an OverlapGraph to an ``.npz`` archive (atomically)."""
+    _atomic_savez(
         dest,
         version=np.int64(_GRAPH_VERSION),
         n_nodes=np.int64(graph.n_nodes),
@@ -101,7 +165,7 @@ def load_graph(source) -> OverlapGraph:
 def save_readset(reads: ReadSet, dest) -> None:
     """Write a ReadSet (ids, bases, qualities, JSON metadata) to ``.npz``."""
     meta_json = json.dumps(reads.meta).encode("utf-8")
-    np.savez_compressed(
+    _atomic_savez(
         dest,
         version=np.int64(_READSET_VERSION),
         data=reads.data,
@@ -139,3 +203,90 @@ def load_readset(source) -> ReadSet:
                 )
             )
         return ReadSet(reads)
+
+
+@dataclass
+class CheckpointState:
+    """Everything needed to resume a finish pipeline mid-stage-sequence.
+
+    ``fingerprint`` identifies the run (read counts, partition count,
+    trimming parameters, ...): a resume against a checkpoint from a
+    different configuration is refused rather than silently producing
+    wrong contigs.  ``completed`` lists finished stages in execution
+    order; ``stage_times`` holds their recorded per-stage seconds;
+    ``paths`` is present once the traversal stage has completed.
+    """
+
+    fingerprint: dict
+    completed: list[str] = field(default_factory=list)
+    node_alive: np.ndarray | None = None
+    edge_alive: np.ndarray | None = None
+    stage_times: dict = field(default_factory=dict)
+    paths: list[list[int]] | None = None
+
+
+def _json_array(obj) -> np.ndarray:
+    return np.frombuffer(json.dumps(obj).encode("utf-8"), dtype=np.uint8)
+
+
+def _json_value(arr: np.ndarray):
+    return json.loads(bytes(arr.tobytes()).decode("utf-8"))
+
+
+def save_checkpoint(state: CheckpointState, dest) -> None:
+    """Persist a stage checkpoint atomically (see :class:`CheckpointState`)."""
+    if state.node_alive is None or state.edge_alive is None:
+        raise ValueError("checkpoint needs both alive-masks")
+    paths = state.paths
+    if paths is not None:
+        offsets = np.zeros(len(paths) + 1, dtype=np.int64)
+        if paths:
+            offsets[1:] = np.cumsum([len(p) for p in paths])
+        flat = (
+            np.concatenate([np.asarray(p, dtype=np.int64) for p in paths])
+            if paths
+            else np.empty(0, dtype=np.int64)
+        )
+    else:
+        offsets = np.empty(0, dtype=np.int64)
+        flat = np.empty(0, dtype=np.int64)
+    _atomic_savez(
+        dest,
+        version=np.int64(_CHECKPOINT_VERSION),
+        fingerprint=_json_array(state.fingerprint),
+        completed=_json_array(list(state.completed)),
+        node_alive=np.asarray(state.node_alive, dtype=bool),
+        edge_alive=np.asarray(state.edge_alive, dtype=bool),
+        stage_times=_json_array(state.stage_times),
+        has_paths=np.bool_(paths is not None),
+        paths_flat=flat,
+        paths_offsets=offsets,
+    )
+
+
+def load_checkpoint(source) -> CheckpointState:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`ValueError` (never a bare ``KeyError``) when the
+    file is not an archive, is missing expected arrays, or was written
+    by an unsupported format version.
+    """
+    with _open_archive(
+        source, "checkpoint", _CHECKPOINT_KEYS, _CHECKPOINT_VERSION
+    ) as data:
+        paths: list[list[int]] | None = None
+        if bool(data["has_paths"]):
+            flat = data["paths_flat"]
+            offsets = data["paths_offsets"]
+            paths = [
+                flat[int(offsets[i]) : int(offsets[i + 1])].tolist()
+                for i in range(len(offsets) - 1)
+            ]
+        return CheckpointState(
+            fingerprint=_json_value(data["fingerprint"]),
+            completed=list(_json_value(data["completed"])),
+            node_alive=data["node_alive"].astype(bool),
+            edge_alive=data["edge_alive"].astype(bool),
+            stage_times=_json_value(data["stage_times"]),
+            paths=paths,
+        )

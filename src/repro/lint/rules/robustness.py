@@ -1,0 +1,85 @@
+"""Robustness rules: ROB001 swallowed exception.
+
+A ``try`` handler that catches everything (bare ``except:`` or
+``except Exception``/``except BaseException``) and whose body does
+nothing but ``pass`` (or a bare ``...``) erases the failure entirely:
+no retry, no fallback, no record in the fault report, no message —
+the pipeline continues on state of unknown validity.  In a
+fault-tolerant assembler every failure must be either handled
+(retried, rolled back, recorded) or propagated (see
+docs/robustness.md).  Narrow handlers (``except OSError: pass``) are
+allowed — swallowing a *specific* anticipated error is a decision;
+swallowing *everything* is a bug magnet — and so are broad handlers
+that actually do something (log, re-raise, record, fall back).
+Prefer ``contextlib.suppress(SpecificError)`` for intentional
+narrow suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["SwallowedException"]
+
+#: names whose catch-all handlers ROB001 flags when the body is empty.
+_BROAD_NAMES = ("Exception", "BaseException")
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or ``except Exception``/``BaseException``."""
+    etype = handler.type
+    if etype is None:
+        return True
+    if isinstance(etype, ast.Name):
+        return etype.id in _BROAD_NAMES
+    if isinstance(etype, ast.Tuple):
+        return any(
+            isinstance(el, ast.Name) and el.id in _BROAD_NAMES
+            for el in etype.elts
+        )
+    return False
+
+
+def _body_swallows(body: list[ast.stmt]) -> bool:
+    """True when every statement is ``pass``, ``...``, or a docstring."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            # `...` or a bare string; neither handles the error.
+            continue
+        return False
+    return True
+
+
+@register
+class SwallowedException(Rule):
+    id = "ROB001"
+    severity = Severity.ERROR
+    summary = "broad except handler silently swallows the exception"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue
+            if not _body_swallows(node.body):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "everything"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"handler catches {caught} and does nothing — the failure "
+                "is erased with no retry, record, or message; handle it "
+                "(retry/fallback/log), narrow the exception type, or use "
+                "contextlib.suppress(SpecificError) to make intentional "
+                "suppression explicit",
+            )

@@ -51,6 +51,7 @@ class SimCluster:
         cost_model: CommCostModel | None = None,
         deadlock_timeout: float = 60.0,
         sanitize: bool = False,
+        fault_hook=None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
@@ -60,6 +61,9 @@ class SimCluster:
         #: runtime message sanitizer: payload fingerprints at send/recv
         #: plus a message-leak check at shutdown (see docs/mpi_simulation.md).
         self.sanitize = sanitize
+        #: message fault injector shared by every rank's communicator
+        #: (see :class:`repro.faults.FaultInjector` and docs/robustness.md).
+        self.fault_hook = fault_hook
 
     def run(self, fn, *args, **kwargs) -> tuple[list, RunStats]:
         channels = _Channels()
@@ -71,6 +75,7 @@ class SimCluster:
                 self.cost_model,
                 self.deadlock_timeout,
                 sanitize=self.sanitize,
+                fault_hook=self.fault_hook,
             )
             for r in range(self.n_ranks)
         ]
@@ -98,12 +103,16 @@ class SimCluster:
             leaks = channels.unconsumed()
             if leaks:
                 detail = ", ".join(
-                    f"{src}->{dst} tag {tag}: {n} message(s)"
+                    f"rank {src}->{dst} tag {tag}: {n} message(s)"
                     for src, dst, tag, n in leaks
+                )
+                clocks = ", ".join(
+                    f"rank {c.rank}={c.clock:.6f}s" for c in comms
                 )
                 raise MessageLeakError(
                     f"unconsumed messages at cluster shutdown ({detail}); "
-                    "every send needs a matching receive"
+                    "every send needs a matching receive "
+                    f"[virtual clocks at shutdown: {clocks}]"
                 )
         stats = RunStats(
             clocks=[c.clock for c in comms],

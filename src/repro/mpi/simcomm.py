@@ -81,6 +81,11 @@ class _Message:
     #: sanitizer fingerprint taken at send time (None when disabled
     #: or the payload is unpicklable).
     digest: bytes | None = None
+    #: per-channel send sequence number (receivers use it to discard
+    #: injected duplicates).
+    seq: int = 0
+    #: True for a tombstone left by an injected message drop.
+    dropped: bool = False
 
 
 class _Channels:
@@ -88,6 +93,7 @@ class _Channels:
 
     def __init__(self) -> None:
         self._queues: dict[tuple[int, int, int], queue.Queue] = {}
+        self._seqs: dict[tuple[int, int, int], int] = {}
         self._lock = threading.Lock()
 
     def get(self, src: int, dst: int, tag: int) -> queue.Queue:
@@ -97,6 +103,14 @@ class _Channels:
             if q is None:
                 q = self._queues[key] = queue.Queue()
             return q
+
+    def next_seq(self, src: int, dst: int, tag: int) -> int:
+        """Monotonic per-channel sequence number for the next send."""
+        key = (src, dst, tag)
+        with self._lock:
+            seq = self._seqs.get(key, 0)
+            self._seqs[key] = seq + 1
+            return seq
 
     def peek(self, src: int, dst: int, tag: int) -> _Message | None:
         """Head message of a channel without consuming it."""
@@ -166,6 +180,7 @@ class SimComm:
         cost_model: CommCostModel,
         deadlock_timeout: float = 60.0,
         sanitize: bool = False,
+        fault_hook=None,
     ) -> None:
         if not 0 <= rank < size:
             raise ValueError("rank out of range")
@@ -177,6 +192,13 @@ class SimComm:
         #: message sanitizer: fingerprint payloads at send, re-verify at
         #: recv, raising :class:`PayloadMutationError` on mismatch.
         self.sanitize = sanitize
+        #: fault injector hook (``message_action(src, dst)``) — drops,
+        #: duplicates, or delays outgoing messages when armed.
+        self.fault_hook = fault_hook
+        #: highest consumed sequence number per (src, tag) channel;
+        #: injected duplicates arrive with an already-seen seq and are
+        #: discarded (exactly-once delivery to the application).
+        self._consumed_seq: dict[tuple[int, int], int] = {}
         #: virtual seconds elapsed on this rank.
         self.clock = 0.0
         #: virtual seconds spent purely computing (subset of clock).
@@ -220,7 +242,13 @@ class SimComm:
     # -- point-to-point -------------------------------------------------------
 
     def send(self, obj, dest: int, tag: int = 0) -> None:
-        """Send a picklable object (eager, non-blocking sender)."""
+        """Send a picklable object (eager, non-blocking sender).
+
+        When a fault hook is armed the message may be dropped (a
+        tombstone is enqueued so the receiver fails loudly instead of
+        silently hanging), duplicated (the receiver discards the copy
+        by sequence number), or delayed (extra virtual latency).
+        """
         self._check_peer(dest)
         nbytes = payload_nbytes(obj)
         available = self.clock + self.cost.message_cost(nbytes)
@@ -228,19 +256,52 @@ class SimComm:
         self.clock += self.cost.alpha
         self.bytes_sent += nbytes
         self.messages_sent += 1
+        action, extra_delay = (None, 0.0)
+        if self.fault_hook is not None:
+            action, extra_delay = self.fault_hook.message_action(self.rank, dest)
         digest = _fingerprint(obj) if self.sanitize else None
-        self._channels.get(self.rank, dest, tag).put(_Message(obj, available, digest))
+        seq = self._channels.next_seq(self.rank, dest, tag)
+        channel = self._channels.get(self.rank, dest, tag)
+        if action == "drop":
+            channel.put(_Message(None, available, None, seq=seq, dropped=True))
+            return
+        if action == "delay":
+            available += extra_delay
+        channel.put(_Message(obj, available, digest, seq=seq))
+        if action == "duplicate":
+            channel.put(_Message(obj, available, digest, seq=seq))
 
     def recv(self, source: int, tag: int = 0):
-        """Blocking receive; advances the clock to the arrival time."""
+        """Blocking receive; advances the clock to the arrival time.
+
+        Injected duplicates (same sequence number) are discarded;
+        an injected drop raises a :class:`DeadlockError` immediately
+        with the full message context rather than stalling for the
+        deadlock timeout.
+        """
         self._check_peer(source)
         q = self._channels.get(source, self.rank, tag)
-        try:
-            msg = q.get(timeout=self.deadlock_timeout)
-        except queue.Empty:
-            raise DeadlockError(
-                f"rank {self.rank} timed out receiving from {source} (tag {tag})"
-            ) from None
+        chan = (source, tag)
+        while True:
+            try:
+                msg = q.get(timeout=self.deadlock_timeout)
+            except queue.Empty:
+                raise DeadlockError(
+                    f"rank {self.rank} timed out receiving from rank {source} "
+                    f"(tag {tag}) after {self.deadlock_timeout}s at virtual "
+                    f"time {self.clock:.6f}s"
+                ) from None
+            if msg.dropped:
+                raise DeadlockError(
+                    f"rank {self.rank}: message from rank {source} "
+                    f"(tag {tag}, seq {msg.seq}) was dropped by fault "
+                    f"injection at virtual time {self.clock:.6f}s"
+                )
+            last = self._consumed_seq.get(chan)
+            if last is not None and msg.seq <= last:
+                continue  # injected duplicate of an already-consumed send
+            self._consumed_seq[chan] = msg.seq
+            break
         self.clock = max(self.clock, msg.available_at)
         if self.sanitize and msg.digest is not None:
             now = _fingerprint(msg.payload)

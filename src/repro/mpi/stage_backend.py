@@ -7,14 +7,32 @@ kernel under the rank's virtual clock, gather to root, merge on the
 root's clock, broadcast — exactly the communication pattern the
 paper's Fig. 6 times.  The returned ``elapsed`` is the cluster's
 virtual wall-clock (slowest rank), not real time.
+
+Fault tolerance: a rank failure poisons a whole SPMD run (the other
+ranks deadlock waiting on the dead peer), so the retry granularity
+here is the *stage attempt*, not the partition.  Before each attempt
+the alive-masks are snapshotted; on failure they are restored (a
+partially-applied merge never leaks into the retry) and the stage is
+re-run with the next attempt number.  Injected message faults
+(drop/duplicate/delay from the :class:`~repro.faults.FaultPlan`) are
+armed per attempt through the cluster's fault hook.  Once the retry
+budget is exhausted the stage falls back to the in-process serial
+loop (without injection) when the policy allows it.
 """
 
 from __future__ import annotations
 
 from repro.distributed.stages import StageSpec, run_stage_on_comm
+from repro.faults import (
+    FaultInjector,
+    FaultReport,
+    RetryPolicy,
+    StageExecutionError,
+)
 from repro.mpi.cluster import SimCluster
+from repro.mpi.simcomm import DeadlockError
 from repro.mpi.timing import CommCostModel
-from repro.parallel.backend import ExecutionBackend, StageOutcome
+from repro.parallel.backend import ExecutionBackend, SerialBackend, StageOutcome
 
 __all__ = ["SimBackend"]
 
@@ -31,23 +49,88 @@ class SimBackend(ExecutionBackend):
         cost_model: CommCostModel | None = None,
         deadlock_timeout: float = 600.0,
         sanitize: bool = False,
+        retry: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
-        super().__init__(dag)
+        super().__init__(dag, retry=retry, injector=injector)
+        if injector is not None and self.retry.task_deadline is not None:
+            # Under fault injection a dead rank stalls its peers until
+            # the recv timeout: bound that stall by the task deadline
+            # so failed attempts surface quickly in real time.
+            deadlock_timeout = min(deadlock_timeout, self.retry.task_deadline)
         self.cluster = SimCluster(
             max(dag.n_parts, 1),
             cost_model=cost_model,
             deadlock_timeout=deadlock_timeout,
             sanitize=sanitize,
+            fault_hook=injector,
         )
+
+    def _attempt_spec(self, spec: StageSpec, attempt: int) -> StageSpec:
+        """The stage with its kernel wrapped for fault injection."""
+        injector = self.injector
+        if injector is None:
+            return spec
+
+        def kernel_with_faults(dag, part, **params):
+            injector.fire_kernel_fault(spec.name, part, attempt)
+            return spec.kernel(dag, part, **params)
+
+        return StageSpec(spec.name, kernel_with_faults, spec.merge)
 
     def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
         spec = self._resolve(stage)
-        results, stats = self.cluster.run(
-            run_stage_on_comm, spec, self.dag, **params
-        )
-        return StageOutcome(
-            stage=spec.name,
-            result=results[0],
-            elapsed=stats.elapsed,
-            time_kind=self.time_kind,
-        )
+        dag = self.dag
+        policy = self.retry
+        report = FaultReport()
+        failures: list[str] = []
+        attempt = 1
+        while True:
+            # Snapshot the only state merges mutate, so a failed
+            # attempt (even one that died mid-merge or mid-broadcast)
+            # can be rolled back cleanly.
+            node_alive = dag.node_alive.copy()
+            edge_alive = dag.edge_alive.copy()
+            if self.injector is not None:
+                for part in range(dag.n_parts):
+                    fault = self.injector.kernel_fault(spec.name, part, attempt)
+                    if fault is not None:
+                        report.record_injected(fault.kind, spec.name, f"rank {part}")
+                        if fault.kind == "hang":
+                            report.record_deadline(spec.name, f"rank {part}")
+                self.injector.begin_attempt(spec.name, attempt)
+            try:
+                results, stats = self.cluster.run(
+                    run_stage_on_comm, self._attempt_spec(spec, attempt), dag, **params
+                )
+            except (RuntimeError, DeadlockError) as exc:
+                dag.node_alive = node_alive
+                dag.edge_alive = edge_alive
+                failures.append(f"attempt {attempt}: {exc}")
+                if not policy.allows(attempt + 1):
+                    if policy.fallback_serial:
+                        report.record_fallback(spec.name, "stage")
+                        inner = SerialBackend(dag, retry=policy)
+                        outcome = inner.run_stage(spec, **params)
+                        self.fault_report.merge(report)
+                        return StageOutcome(
+                            stage=spec.name,
+                            result=outcome.result,
+                            elapsed=outcome.elapsed,
+                            time_kind=outcome.time_kind,
+                            faults=report,
+                        )
+                    raise StageExecutionError(spec.name, attempt, failures) from exc
+                report.record_retry(spec.name, "stage", type(exc).__name__)
+                attempt += 1
+                continue
+            finally:
+                if self.injector is not None:
+                    self.injector.end_attempt()
+                    for kind, src, dst in self.injector.drain_fired():
+                        report.record_injected(
+                            kind, spec.name, f"rank {src}->rank {dst}"
+                        )
+            if failures:
+                report.record_recovery(spec.name, "stage")
+            return self._finish_outcome(spec, results[0], stats.elapsed, report)

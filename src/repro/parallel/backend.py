@@ -32,19 +32,40 @@ All three produce byte-identical contigs and alive-masks because the
 kernels are pure and deterministic and merges consume proposals in
 partition order — the backend only changes *where* kernels run and
 which clock measures them.
+
+Fault tolerance (docs/robustness.md): every backend wraps kernel
+execution in a :class:`~repro.faults.RetryPolicy` — failed partitions
+are retried with capped exponential backoff, the process backend
+detects dead pools (a worker SIGKILLed mid-stage), respawns its
+workers, and re-runs only the partitions that did not complete, and a
+partition that exhausts its retry budget falls back to the in-process
+serial loop.  Because kernels are pure, a failed attempt never leaves
+partial state behind; merges only run once every proposal is in.  The
+resulting contigs stay byte-identical to the fault-free serial run —
+the invariant ``tests/faults/test_chaos_equivalence.py`` enforces.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.distributed.stages import StageSpec, get_stage
+from repro.faults import (
+    DeadlineExceededError,
+    FaultInjector,
+    FaultReport,
+    RetryPolicy,
+    StageExecutionError,
+    apply_kernel_fault_in_worker,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -70,6 +91,9 @@ class StageOutcome:
     elapsed: float
     #: "wall" for serial/process, "virtual" for sim.
     time_kind: str
+    #: fault activity during this stage (None only for legacy callers
+    #: constructing outcomes by hand).
+    faults: FaultReport | None = None
 
 
 def partition_costs(dag) -> np.ndarray:
@@ -79,13 +103,28 @@ def partition_costs(dag) -> np.ndarray:
 
 
 class ExecutionBackend:
-    """Base class: binds a distributed graph and runs stages on it."""
+    """Base class: binds a distributed graph and runs stages on it.
+
+    ``retry`` governs how kernel failures are handled (defaults to the
+    standard :class:`~repro.faults.RetryPolicy`); ``injector``
+    optionally injects deterministic faults from a
+    :class:`~repro.faults.FaultPlan`.  ``fault_report`` accumulates
+    activity across every stage run on this backend.
+    """
 
     name: str = ""
     time_kind: str = "wall"
 
-    def __init__(self, dag) -> None:
+    def __init__(
+        self,
+        dag,
+        retry: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+    ) -> None:
         self.dag = dag
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector
+        self.fault_report = FaultReport()
 
     @staticmethod
     def _resolve(stage: StageSpec | str) -> StageSpec:
@@ -103,6 +142,62 @@ class ExecutionBackend:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- shared retry machinery -----------------------------------------
+
+    def _kernel_with_retry(
+        self, spec: StageSpec, part: int, params: dict, report: FaultReport
+    ):
+        """Run one partition's kernel in-process under the retry policy.
+
+        Kernels are pure, so a failed attempt leaves no state to roll
+        back; injected faults surface as exceptions here (the worker
+        crash / hang semantics belong to the process backend).  After
+        the budget is exhausted the partition either falls back to one
+        final un-injected in-process run (``fallback_serial``) or the
+        stage fails with :class:`StageExecutionError`.
+        """
+        policy = self.retry
+        where = f"part {part}"
+        failures: list[str] = []
+        attempt = 1
+        while True:
+            try:
+                if self.injector is not None:
+                    fault = self.injector.kernel_fault(spec.name, part, attempt)
+                    if fault is not None:
+                        report.record_injected(fault.kind, spec.name, where)
+                    self.injector.fire_kernel_fault(spec.name, part, attempt)
+                proposal = spec.kernel(self.dag, part, **params)
+            except Exception as exc:  # noqa: BLE001 - recorded and re-raised below
+                if isinstance(exc, DeadlineExceededError):
+                    report.record_deadline(spec.name, where)
+                failures.append(f"{where} attempt {attempt}: {exc}")
+                if not policy.allows(attempt + 1):
+                    if policy.fallback_serial:
+                        report.record_fallback(spec.name, where)
+                        return spec.kernel(self.dag, part, **params)
+                    raise StageExecutionError(spec.name, attempt, failures) from exc
+                report.record_retry(spec.name, where, type(exc).__name__)
+                time.sleep(policy.backoff(attempt))
+                attempt += 1
+                continue
+            if failures:
+                report.record_recovery(spec.name, where)
+            return proposal
+
+    def _finish_outcome(
+        self, spec: StageSpec, result, elapsed: float, report: FaultReport
+    ) -> StageOutcome:
+        """Merge the stage's fault activity and build the outcome."""
+        self.fault_report.merge(report)
+        return StageOutcome(
+            stage=spec.name,
+            result=result,
+            elapsed=elapsed,
+            time_kind=self.time_kind,
+            faults=report,
+        )
+
 
 class SerialBackend(ExecutionBackend):
     """In-process loop over partitions; the equivalence baseline."""
@@ -113,17 +208,14 @@ class SerialBackend(ExecutionBackend):
     def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
         spec = self._resolve(stage)
         dag = self.dag
+        report = FaultReport()
         t0 = time.perf_counter()
         proposals = [
-            spec.kernel(dag, part, **params) for part in range(dag.n_parts)
+            self._kernel_with_retry(spec, part, params, report)
+            for part in range(dag.n_parts)
         ]
         result = spec.merge(dag, proposals, **params)
-        return StageOutcome(
-            stage=spec.name,
-            result=result,
-            elapsed=time.perf_counter() - t0,
-            time_kind=self.time_kind,
-        )
+        return self._finish_outcome(spec, result, time.perf_counter() - t0, report)
 
 
 #: per-worker state installed by the pool initializer (fork-inherited).
@@ -141,13 +233,19 @@ def _init_stage_worker(assembly, labels) -> None:
     _WORKER["dag"] = DistributedAssemblyGraph(assembly, labels)
 
 
-def _run_stage_task(stage_name: str, part: int, node_alive, edge_alive, params):
+def _run_stage_task(
+    stage_name: str, part: int, node_alive, edge_alive, params, plan, attempt
+):
     """Execute one (stage, partition) kernel inside a worker process.
 
     The master's current alive-masks travel with the task (they are
     the only state stages mutate), so sequential stages see each
-    other's removals without re-priming the pool.
+    other's removals without re-priming the pool.  ``plan``/``attempt``
+    drive fault injection: a "crash" fault really SIGKILLs this
+    worker, a "hang" really sleeps past the deadline.
     """
+    if plan is not None:
+        apply_kernel_fault_in_worker(plan, stage_name, part, attempt)
     dag = _WORKER["dag"]
     dag.node_alive = node_alive
     dag.edge_alive = edge_alive
@@ -175,18 +273,38 @@ class ProcessBackend(ExecutionBackend):
     stages (workers are re-synchronised through the masks shipped with
     each task).  ``workers=0`` uses one process per partition, capped
     at the core count.
+
+    Fault tolerance: each round submits every unfinished partition,
+    collects results under the policy's per-task deadline, and reacts
+    per failure class — a clean worker exception retries just that
+    partition; a broken pool (worker SIGKILLed) or a missed deadline
+    (hung worker) kills and respawns the pool and re-runs only the
+    partitions that never completed.  A partition that exhausts its
+    attempts (or a pool that keeps dying) falls back to the in-process
+    serial loop, so the stage completes whenever the kernels themselves
+    are sound.
     """
 
     name = "process"
     time_kind = "wall"
 
-    def __init__(self, dag, workers: int = 0) -> None:
-        super().__init__(dag)
+    def __init__(
+        self,
+        dag,
+        workers: int = 0,
+        retry: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        super().__init__(dag, retry=retry, injector=injector)
         if workers < 0:
             raise ValueError("workers must be non-negative")
         cores = os.cpu_count() or 1
         self.n_workers = workers if workers > 0 else min(dag.n_parts, cores)
         self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def _plan(self):
+        return self.injector.plan if self.injector is not None else None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -204,40 +322,207 @@ class ProcessBackend(ExecutionBackend):
             self._pool = pool
         return self._pool
 
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool workers (spawning the pool if needed)."""
+        pool = self._ensure_pool()
+        return sorted(pool._processes.keys())
+
+    def _discard_pool(self, kill: bool) -> None:
+        """Drop the current pool; ``kill`` SIGKILLs workers first.
+
+        Killing is required for hung workers: ``shutdown`` alone would
+        block behind (or leak) a worker sleeping past its deadline.
+        ``_processes`` is private executor API, but it is the only
+        handle to the worker processes and is stable across the
+        supported Python versions.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            for proc in list((pool._processes or {}).values()):
+                proc.kill()
+        pool.shutdown(wait=not kill, cancel_futures=True)
+
     def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
         spec = self._resolve(stage)
         dag = self.dag
         if dag.n_parts <= 1 or self.n_workers <= 1:
-            # Nothing to parallelise: run in-process, same clock kind.
-            return SerialBackend(dag).run_stage(spec, **params)
-        pool = self._ensure_pool()
+            # Nothing to parallelise: run in-process, same clock kind,
+            # same retry/injection semantics.
+            inner = SerialBackend(dag, retry=self.retry, injector=self.injector)
+            outcome = inner.run_stage(spec, **params)
+            self.fault_report.merge(inner.fault_report)
+            return outcome
+        report = FaultReport()
         t0 = time.perf_counter()
-        costs = partition_costs(dag)
-        submit_order = np.argsort(-costs, kind="stable").tolist()
-        futures = {
-            part: pool.submit(
-                _run_stage_task,
-                spec.name,
-                part,
-                dag.node_alive,
-                dag.edge_alive,
-                params,
-            )
-            for part in submit_order
-        }
-        proposals = [futures[part].result() for part in range(dag.n_parts)]
+        proposals = self._collect_proposals(spec, params, report)
         result = spec.merge(dag, proposals, **params)
-        return StageOutcome(
-            stage=spec.name,
-            result=result,
-            elapsed=time.perf_counter() - t0,
-            time_kind=self.time_kind,
-        )
+        return self._finish_outcome(spec, result, time.perf_counter() - t0, report)
+
+    def _collect_proposals(
+        self, spec: StageSpec, params: dict, report: FaultReport
+    ) -> list:
+        """Run every partition's kernel to completion, surviving faults."""
+        dag = self.dag
+        policy = self.retry
+        proposals: list = [None] * dag.n_parts
+        attempt = {part: 1 for part in range(dag.n_parts)}
+        failed_once: set[int] = set()
+        failures: list[str] = []
+        pending = set(range(dag.n_parts))
+        respawns = 0
+        # A pool that keeps dying stops being a useful execution
+        # substrate regardless of which partition is at fault.
+        max_respawns = max(policy.max_attempts, 2)
+
+        while pending:
+            over_budget = [p for p in sorted(pending) if not policy.allows(attempt[p])]
+            for part in over_budget:
+                if not policy.fallback_serial:
+                    raise StageExecutionError(
+                        spec.name, attempt[part] - 1, failures or ["worker pool failure"]
+                    )
+                report.record_fallback(spec.name, f"part {part}")
+                proposals[part] = spec.kernel(dag, part, **params)
+                pending.discard(part)
+            if not pending:
+                break
+            if respawns > max_respawns:
+                for part in sorted(pending):
+                    if not policy.fallback_serial:
+                        raise StageExecutionError(
+                            spec.name,
+                            attempt[part],
+                            failures + ["worker pool kept dying"],
+                        )
+                    report.record_fallback(spec.name, f"part {part}")
+                    proposals[part] = spec.kernel(dag, part, **params)
+                pending.clear()
+                break
+
+            pool = self._ensure_pool()
+            costs = partition_costs(dag)
+            submit_order = [
+                p for p in np.argsort(-costs, kind="stable").tolist() if p in pending
+            ]
+            expected = {
+                part: (
+                    self.injector.kernel_fault(spec.name, part, attempt[part])
+                    if self.injector is not None
+                    else None
+                )
+                for part in submit_order
+            }
+            try:
+                futures = {
+                    part: pool.submit(
+                        _run_stage_task,
+                        spec.name,
+                        part,
+                        dag.node_alive,
+                        dag.edge_alive,
+                        params,
+                        self._plan,
+                        attempt[part],
+                    )
+                    for part in submit_order
+                }
+            except BrokenProcessPool:
+                # A worker died while the pool was idle (e.g. an external
+                # kill -9 between stages): the break only surfaces at
+                # submit time.  Respawn and re-run the round; attempts
+                # are not charged because no kernel ever started.
+                self._discard_pool(kill=False)
+                report.record_respawn(spec.name, "broken process pool at submit")
+                respawns += 1
+                continue
+            pool_down = False
+            round_failed = False
+            for part in sorted(futures):
+                if pool_down:
+                    break  # remaining futures died with the pool
+                where = f"part {part}"
+                try:
+                    proposals[part] = futures[part].result(
+                        timeout=policy.task_deadline
+                    )
+                except concurrent.futures.TimeoutError:
+                    # Hung worker: only a pool kill can reclaim it.  The
+                    # timeout may surface on an innocent partition queued
+                    # behind the hung one, so charge the failure to every
+                    # pending partition with an expected hang (plus the
+                    # one that timed out, hung or just queue-starved).
+                    round_failed = True
+                    report.record_deadline(spec.name, where)
+                    blamed = {part} | {
+                        p
+                        for p in pending
+                        if expected.get(p) is not None
+                        and expected[p].kind == "hang"
+                    }
+                    for p in sorted(blamed):
+                        if expected.get(p) is not None:
+                            report.record_injected(
+                                expected[p].kind, spec.name, f"part {p}"
+                            )
+                        failures.append(
+                            f"part {p} attempt {attempt[p]}: task deadline "
+                            f"({policy.task_deadline}s) exceeded"
+                        )
+                        report.record_retry(
+                            spec.name, f"part {p}", "DeadlineExceeded"
+                        )
+                        attempt[p] += 1
+                        failed_once.add(p)
+                    self._discard_pool(kill=True)
+                    report.record_respawn(spec.name, "task deadline exceeded")
+                    respawns += 1
+                    pool_down = True
+                except BrokenProcessPool:
+                    # A worker died (injected SIGKILL or an external
+                    # kill -9): every in-flight future is lost.  Charge
+                    # the crash to every pending partition whose plan
+                    # entry injected one (the broken pool surfaces on
+                    # whichever future is collected first, not
+                    # necessarily the partition that crashed).
+                    round_failed = True
+                    for p in sorted(pending):
+                        fault = expected.get(p)
+                        if fault is not None and fault.kind == "crash":
+                            report.record_injected("crash", spec.name, f"part {p}")
+                            failures.append(
+                                f"part {p} attempt {attempt[p]}: worker crashed"
+                            )
+                            report.record_retry(spec.name, f"part {p}", "WorkerCrash")
+                            attempt[p] += 1
+                            failed_once.add(p)
+                    self._discard_pool(kill=False)
+                    report.record_respawn(spec.name, "broken process pool")
+                    respawns += 1
+                    pool_down = True
+                except Exception as exc:  # noqa: BLE001 - recorded, retried below
+                    # The task itself raised (transient kernel error):
+                    # the pool is still healthy, keep collecting.
+                    round_failed = True
+                    if expected.get(part) is not None:
+                        report.record_injected(
+                            expected[part].kind, spec.name, where
+                        )
+                    failures.append(f"{where} attempt {attempt[part]}: {exc}")
+                    report.record_retry(spec.name, where, type(exc).__name__)
+                    attempt[part] += 1
+                    failed_once.add(part)
+                else:
+                    pending.discard(part)
+                    if part in failed_once:
+                        report.record_recovery(spec.name, where)
+            if round_failed and pending:
+                time.sleep(policy.backoff(min(attempt.values())))
+        return proposals
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        self._discard_pool(kill=False)
 
 
 def create_backend(
@@ -247,20 +532,29 @@ def create_backend(
     workers: int = 0,
     cost_model=None,
     sanitize: bool = False,
+    retry: RetryPolicy | None = None,
+    injector: FaultInjector | None = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by name for one distributed graph.
 
     ``workers`` only affects ``process``; ``cost_model`` and
-    ``sanitize`` only affect ``sim``.
+    ``sanitize`` only affect ``sim``.  ``retry`` and ``injector``
+    apply to every backend.
     """
     if name == "serial":
-        return SerialBackend(dag)
+        return SerialBackend(dag, retry=retry, injector=injector)
     if name == "process":
-        return ProcessBackend(dag, workers=workers)
+        return ProcessBackend(dag, workers=workers, retry=retry, injector=injector)
     if name == "sim":
         # The sim adapter lives in the mpi layer; imported lazily so
         # repro.parallel itself never depends on repro.mpi.
         from repro.mpi.stage_backend import SimBackend
 
-        return SimBackend(dag, cost_model=cost_model, sanitize=sanitize)
+        return SimBackend(
+            dag,
+            cost_model=cost_model,
+            sanitize=sanitize,
+            retry=retry,
+            injector=injector,
+        )
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

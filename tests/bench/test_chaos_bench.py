@@ -1,0 +1,119 @@
+"""Chaos-bench schema, plan generation, and report plumbing (no real runs)."""
+
+import json
+from pathlib import Path
+
+from repro.bench.chaos_bench import (
+    CHAOS_RETRY,
+    SCHEMA,
+    ChaosBenchRecord,
+    ChaosBenchReport,
+    chaos_plan,
+)
+
+
+def record(backend="serial", plan_seed=1, stage_s=1.0, contigs_match=True):
+    return ChaosBenchRecord(
+        dataset="D1",
+        backend=backend,
+        partitions=4,
+        plan_seed=plan_seed,
+        stage_s=stage_s,
+        slowdown=stage_s / 0.8,
+        contigs_match=contigs_match,
+        n_contigs=10,
+        injected=2,
+        retries=2,
+        respawns=1,
+        fallbacks=0,
+        recovered_partitions=2,
+    )
+
+
+class TestChaosPlan:
+    def test_deterministic_over_real_stage_registry(self):
+        from repro.distributed.stages import all_stages
+        from repro.faults import FaultPlan
+
+        plan = chaos_plan(7, n_parts=4)
+        assert plan == chaos_plan(7, n_parts=4)
+        assert not plan.empty
+        stage_names = {spec.name for spec in all_stages()}
+        for spec in plan.kernel_faults:
+            assert spec.stage in stage_names
+        # Serializable, so the plan a cell ran under can be re-run.
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_retry_budget_outlasts_generated_plans(self):
+        # CHAOS_RETRY must tolerate every fault the generator emits,
+        # otherwise cells would legitimately fail the recovery gate.
+        for seed in range(1, 20):
+            plan = chaos_plan(seed, n_parts=4)
+            assert plan.max_fault_attempts < CHAOS_RETRY.max_attempts
+
+    def test_hangs_are_short(self):
+        assert chaos_plan(1, n_parts=4).hang_seconds < CHAOS_RETRY.task_deadline
+
+
+class TestReport:
+    def test_json_schema_and_roundtrip(self):
+        report = ChaosBenchReport(
+            records=[record(plan_seed=-1, stage_s=0.8), record()],
+            metadata={"cpu_count": 1, "retry": CHAOS_RETRY.to_dict()},
+        )
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == SCHEMA
+        assert len(payload["results"]) == 2
+        faulted = payload["results"][1]
+        for key in (
+            "dataset",
+            "backend",
+            "partitions",
+            "plan_seed",
+            "stage_s",
+            "slowdown",
+            "contigs_match",
+            "injected",
+            "retries",
+            "respawns",
+            "fallbacks",
+            "recovered_partitions",
+        ):
+            assert key in faulted
+        assert faulted["contigs_match"] is True
+
+    def test_summary_table_flags_mismatch(self):
+        report = ChaosBenchReport(
+            records=[record(), record(plan_seed=2, contigs_match=False)]
+        )
+        table = report.summary_table()
+        assert "ok" in table
+        assert "MISMATCH" in table
+        assert "seed 2" in table
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        ChaosBenchReport(records=[record()]).write(str(path))
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+
+
+class TestCheckedInTrajectory:
+    """The committed BENCH_chaos.json must stay valid and fully recovered."""
+
+    def test_checked_in_file_matches_schema(self):
+        path = Path(__file__).resolve().parents[2] / "BENCH_chaos.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["results"], "trajectory must not be empty"
+        backends = {r["backend"] for r in payload["results"]}
+        assert backends == {"serial", "sim", "process"}
+        records = [ChaosBenchRecord(**r) for r in payload["results"]]
+        # The recovery gate that produced the file: every faulted cell
+        # recovered the fault-free contigs byte-for-byte.
+        assert all(r.contigs_match for r in records)
+        # Each backend has a baseline cell and at least one chaos cell
+        # where faults actually fired.
+        for backend in backends:
+            cells = [r for r in records if r.backend == backend]
+            assert any(r.plan_seed < 0 for r in cells)
+            assert any(r.plan_seed >= 0 and r.injected > 0 for r in cells)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the fault-tolerance suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AssemblyConfig
+from repro.core.focus import FocusAssembler
+from repro.mpi.timing import CommCostModel
+from repro.simulate.genome import Genome, random_genome
+from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+FAST = CommCostModel(alpha=1e-6, beta=1e-9)
+
+
+def small_reads(genome_len=6000, coverage=10, seed=3):
+    g = Genome("g", random_genome(genome_len, np.random.default_rng(seed)))
+    cfg = ReadSimConfig(read_length=100, coverage=coverage, seed=seed)
+    return ReadSimulator(cfg).simulate_genome(g)
+
+
+def contig_key(result):
+    return sorted(c.tobytes() for c in result.contigs)
+
+
+@pytest.fixture(scope="package")
+def prepared():
+    """One prepared small assembly shared by the whole fault suite."""
+    assembler = FocusAssembler(
+        AssemblyConfig(backend_workers=2), cost_model=FAST
+    )
+    return assembler, assembler.prepare(small_reads())
+
+
+@pytest.fixture(scope="package")
+def baseline(prepared):
+    """Fault-free serial contigs: the byte-identity reference."""
+    assembler, prep = prepared
+    result = assembler.finish(prep, n_partitions=4, backend="serial")
+    return contig_key(result)

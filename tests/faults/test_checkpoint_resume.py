@@ -1,0 +1,126 @@
+"""Checkpoint/resume: interrupted runs restart from the last good stage.
+
+Interruption is simulated deterministically: a fault plan with an
+inexhaustible fault budget plus ``fallback_serial=False`` makes the
+targeted stage fail after the checkpoint of its predecessor was
+written — exactly the state a crashed run leaves on disk.
+"""
+
+import pytest
+
+from repro.core.config import AssemblyConfig
+from repro.core.focus import FocusAssembler
+from repro.faults import FaultPlan, KernelFault, RetryPolicy, StageExecutionError
+
+from tests.faults.conftest import FAST, contig_key
+
+#: fails fast and hard at the targeted stage (no fallback, no backoff).
+INTERRUPT = RetryPolicy(
+    max_attempts=2, backoff_base=0.0, backoff_cap=0.0, fallback_serial=False
+)
+
+
+def interrupted_at(stage):
+    """Config whose run dies at ``stage``, like a crashed process."""
+    return AssemblyConfig(
+        backend_workers=2,
+        retry=INTERRUPT,
+        fault_plan=FaultPlan(
+            kernel_faults=(KernelFault("error", stage, 0, attempts=99),)
+        ),
+    )
+
+
+class TestResume:
+    def test_resume_skips_completed_trim_stages(
+        self, prepared, baseline, tmp_path
+    ):
+        assembler, prep = prepared
+        ckpt = tmp_path / "ck.npz"
+        crashed = FocusAssembler(interrupted_at("dead_ends"), cost_model=FAST)
+        with pytest.raises(StageExecutionError):
+            crashed.finish(prep, n_partitions=4, checkpoint=ckpt, backend="serial")
+
+        result = assembler.finish(
+            prep, n_partitions=4, backend="serial", checkpoint=ckpt, resume=True
+        )
+        assert contig_key(result) == baseline
+        # transitive+containment were restored, dead_ends onward re-ran:
+        # the trim timer exists but the restored stage times come from
+        # the checkpoint.
+        assert "trim" in result.timer.durations
+        for stage in ("transitive", "containment", "dead_ends", "bubbles"):
+            assert stage in result.virtual_times
+
+    def test_resume_after_trim_skips_trim_entirely(
+        self, prepared, baseline, tmp_path
+    ):
+        assembler, prep = prepared
+        ckpt = tmp_path / "ck.npz"
+        crashed = FocusAssembler(interrupted_at("traversal"), cost_model=FAST)
+        with pytest.raises(StageExecutionError):
+            crashed.finish(prep, n_partitions=4, checkpoint=ckpt, backend="serial")
+
+        result = assembler.finish(
+            prep, n_partitions=4, backend="serial", checkpoint=ckpt, resume=True
+        )
+        assert contig_key(result) == baseline
+        # Every trim stage was restored: the StageTimer must not have
+        # opened a "trim" stage at all (nothing was executed).
+        assert "trim" not in result.timer.durations
+        assert "traverse" in result.timer.durations
+        assert result.virtual_times["trim_total"] >= 0.0
+
+    def test_resume_of_finished_checkpoint_runs_no_stage(
+        self, prepared, baseline, tmp_path
+    ):
+        assembler, prep = prepared
+        ckpt = tmp_path / "ck.npz"
+        assembler.finish(
+            prep, n_partitions=4, backend="serial", checkpoint=ckpt
+        )
+        result = assembler.finish(
+            prep, n_partitions=4, backend="serial", checkpoint=ckpt, resume=True
+        )
+        assert contig_key(result) == baseline
+        assert "trim" not in result.timer.durations
+        assert "traverse" not in result.timer.durations
+
+    def test_resume_across_backends(self, prepared, baseline, tmp_path):
+        # Contigs are backend-identical, so a checkpoint written under
+        # serial may resume under sim.
+        assembler, prep = prepared
+        ckpt = tmp_path / "ck.npz"
+        crashed = FocusAssembler(interrupted_at("bubbles"), cost_model=FAST)
+        with pytest.raises(StageExecutionError):
+            crashed.finish(prep, n_partitions=4, checkpoint=ckpt, backend="serial")
+        result = assembler.finish(
+            prep, n_partitions=4, backend="sim", checkpoint=ckpt, resume=True
+        )
+        assert contig_key(result) == baseline
+
+    def test_missing_checkpoint_starts_fresh(self, prepared, baseline, tmp_path):
+        assembler, prep = prepared
+        result = assembler.finish(
+            prep,
+            n_partitions=4,
+            backend="serial",
+            checkpoint=tmp_path / "never_written.npz",
+            resume=True,
+        )
+        assert contig_key(result) == baseline
+        assert "trim" in result.timer.durations
+
+    def test_mismatched_fingerprint_refused(self, prepared, tmp_path):
+        assembler, prep = prepared
+        ckpt = tmp_path / "ck.npz"
+        assembler.finish(prep, n_partitions=4, backend="serial", checkpoint=ckpt)
+        with pytest.raises(ValueError, match="does not match"):
+            assembler.finish(
+                prep, n_partitions=2, backend="serial", checkpoint=ckpt, resume=True
+            )
+
+    def test_resume_requires_checkpoint_path(self, prepared):
+        assembler, prep = prepared
+        with pytest.raises(ValueError, match="requires a checkpoint"):
+            assembler.finish(prep, n_partitions=4, resume=True)

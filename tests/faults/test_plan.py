@@ -1,0 +1,173 @@
+"""Unit tests for FaultPlan / RetryPolicy / FaultReport."""
+
+import pytest
+
+from repro.faults import (
+    KERNEL_FAULT_KINDS,
+    MESSAGE_FAULT_KINDS,
+    FaultPlan,
+    FaultReport,
+    KernelFault,
+    MessageFault,
+    RetryPolicy,
+)
+
+
+class TestKernelFault:
+    def test_attempt_gating(self):
+        spec = KernelFault("error", "transitive", 1, attempts=2)
+        assert spec.matches("transitive", 1, 1)
+        assert spec.matches("transitive", 1, 2)
+        assert not spec.matches("transitive", 1, 3)
+        assert not spec.matches("transitive", 0, 1)
+        assert not spec.matches("bubbles", 1, 1)
+
+    def test_wildcard_stage(self):
+        spec = KernelFault("crash", "*", 0)
+        assert spec.matches("transitive", 0, 1)
+        assert spec.matches("traversal", 0, 1)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel fault kind"):
+            KernelFault("explode", "transitive", 0)
+
+
+class TestMessageFault:
+    def test_src_equals_dst_rejected(self):
+        with pytest.raises(ValueError, match="must differ"):
+            MessageFault("drop", "*", 1, 1)
+
+    def test_attempt_gating(self):
+        spec = MessageFault("delay", "bubbles", 0, 1, attempts=1)
+        assert spec.matches_attempt("bubbles", 1)
+        assert not spec.matches_attempt("bubbles", 2)
+        assert not spec.matches_attempt("transitive", 1)
+
+
+class TestFaultPlan:
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(
+            kernel_faults=(
+                KernelFault("error", "transitive", 0),
+                KernelFault("crash", "*", 0),
+            )
+        )
+        assert plan.kernel_fault("transitive", 0, 1).kind == "error"
+        assert plan.kernel_fault("bubbles", 0, 1).kind == "crash"
+        assert plan.kernel_fault("bubbles", 0, 2) is None
+
+    def test_max_fault_attempts(self):
+        assert FaultPlan().max_fault_attempts == 0
+        plan = FaultPlan(
+            kernel_faults=(KernelFault("error", "*", 0, attempts=3),),
+            message_faults=(MessageFault("drop", "*", 0, 1, attempts=2),),
+        )
+        assert plan.max_fault_attempts == 3
+
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(
+            kernel_faults=(KernelFault("error", "*", 0),)
+        ).empty
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            seed=7,
+            kernel_faults=(KernelFault("hang", "traversal", 2, attempts=2),),
+            message_faults=(
+                MessageFault("delay", "bubbles", 0, 3, count=2, delay=0.5),
+            ),
+            hang_seconds=1.5,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(ValueError, match="must be an object"):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_random_is_deterministic_and_serializable(self):
+        stages = ("transitive", "bubbles", "traversal")
+        a = FaultPlan.random(42, stages, n_parts=4)
+        b = FaultPlan.random(42, stages, n_parts=4)
+        assert a == b
+        assert FaultPlan.from_json(a.to_json()) == a
+        for spec in a.kernel_faults:
+            assert spec.kind in KERNEL_FAULT_KINDS
+            assert spec.stage in stages
+            assert 0 <= spec.part < 4
+        for spec in a.message_faults:
+            assert spec.kind in MESSAGE_FAULT_KINDS
+        assert FaultPlan.random(43, stages, n_parts=4) != a
+
+    def test_random_single_partition_has_no_message_faults(self):
+        plan = FaultPlan.random(1, ("transitive",), n_parts=1)
+        assert plan.message_faults == ()
+
+    def test_scaled_to_folds_indices(self):
+        plan = FaultPlan(
+            kernel_faults=(KernelFault("error", "*", 7),),
+            message_faults=(
+                MessageFault("drop", "*", 6, 3),
+                MessageFault("duplicate", "*", 5, 1),
+            ),
+        )
+        scaled = plan.scaled_to(2)
+        assert scaled.kernel_faults[0].part == 1
+        # 6%2 == 0, 3%2 == 1 -> survives; 5%2 == 1 == 1%2 -> dropped.
+        assert len(scaled.message_faults) == 1
+        assert (scaled.message_faults[0].src, scaled.message_faults[0].dst) == (0, 1)
+
+
+class TestRetryPolicy:
+    def test_allows(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(1) and policy.allows(3)
+        assert not policy.allows(4)
+
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.35)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.35)  # capped, not 0.4
+
+    def test_dict_roundtrip(self):
+        policy = RetryPolicy(max_attempts=5, task_deadline=1.0)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestFaultReport:
+    def test_counters_and_summary(self):
+        report = FaultReport()
+        assert not report.has_activity
+        assert report.summary() == "no faults"
+        report.record_injected("crash", "transitive", "part 0")
+        report.record_retry("transitive", "part 0", "InjectedCrashError")
+        report.record_respawn("transitive", "BrokenProcessPool")
+        report.record_recovery("transitive", "part 0")
+        assert report.has_activity
+        assert report.total_injected == 1
+        assert report.retries == 1
+        assert report.respawns == 1
+        assert report.recovered_partitions == 1
+        text = report.summary()
+        assert "1 injected" in text and "1 respawns" in text
+
+    def test_merge(self):
+        a, b = FaultReport(), FaultReport()
+        a.record_injected("error", "bubbles", "part 1")
+        b.record_injected("error", "bubbles", "part 1")
+        b.record_fallback("bubbles", "part 1")
+        a.merge(b)
+        assert a.total_injected == 2
+        assert a.fallbacks == 1
+
+    def test_event_log_is_bounded(self):
+        report = FaultReport()
+        for i in range(500):
+            report.record_retry("s", f"part {i}", "E")
+        assert report.retries == 500
+        assert len(report.events) <= 200
+        assert report.events_dropped > 0
+        assert report.to_dict()["events_dropped"] == report.events_dropped

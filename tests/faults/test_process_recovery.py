@@ -1,0 +1,180 @@
+"""ProcessBackend recovery: dead pools, hung workers, serial fallback.
+
+These tests drive the backend directly (not through the assembler) so
+they can kill real worker processes and inspect the pool.  The
+acceptance case is the external ``kill -9`` of a live worker: the
+backend must detect the broken pool, respawn its workers, re-run only
+the unfinished partitions, and still produce the exact serial masks.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.distributed.dgraph import DistributedAssemblyGraph
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    KernelFault,
+    RetryPolicy,
+    StageExecutionError,
+)
+from repro.parallel.backend import ProcessBackend, SerialBackend
+
+#: the finish stage sequence with the pipeline's default parameters.
+STAGES = (
+    ("transitive", {"tolerance": 2}),
+    ("containment", {"min_overlap": 50, "min_identity": 0.9}),
+    ("dead_ends", {"max_tip_bases": 150}),
+    ("bubbles", {}),
+    ("traversal", {}),
+)
+
+FAST_RETRY = RetryPolicy(
+    max_attempts=3, backoff_base=0.0, backoff_cap=0.0, task_deadline=10.0
+)
+
+
+def fresh_dag(prepared):
+    assembler, prep = prepared
+    from repro.partition.multilevel import partition_via_hybrid
+
+    part = partition_via_hybrid(prep.mls, prep.hyb, 4, assembler.config.partition)
+    return DistributedAssemblyGraph(prep.assembly, part.labels_finest)
+
+
+def run_all_stages(backend):
+    paths = None
+    for name, params in STAGES:
+        paths = backend.run_stage(name, **params).result
+    return paths
+
+
+@pytest.fixture(scope="module")
+def serial_reference(prepared):
+    dag = fresh_dag(prepared)
+    backend = SerialBackend(dag)
+    paths = run_all_stages(backend)
+    return dag.node_alive.copy(), dag.edge_alive.copy(), paths
+
+
+def assert_matches_serial(dag, paths, serial_reference):
+    node_alive, edge_alive, ref_paths = serial_reference
+    assert (dag.node_alive == node_alive).all()
+    assert (dag.edge_alive == edge_alive).all()
+    assert paths == ref_paths
+
+
+class TestExternalKill:
+    def test_kill9_live_worker_recovered_by_respawn(
+        self, prepared, serial_reference
+    ):
+        dag = fresh_dag(prepared)
+        backend = ProcessBackend(dag, workers=2, retry=FAST_RETRY)
+        try:
+            first_name, first_params = STAGES[0]
+            backend.run_stage(first_name, **first_params)
+            pids = backend.worker_pids()
+            assert len(pids) == 2
+            os.kill(pids[0], signal.SIGKILL)
+            paths = None
+            for name, params in STAGES[1:]:
+                paths = backend.run_stage(name, **params).result
+            assert_matches_serial(dag, paths, serial_reference)
+            assert backend.fault_report.respawns >= 1
+            # The pool really was rebuilt with fresh workers.
+            assert backend.worker_pids() != pids
+        finally:
+            backend.close()
+
+
+class TestInjectedFaults:
+    def test_injected_crash_is_a_real_sigkill_recovered(
+        self, prepared, serial_reference
+    ):
+        plan = FaultPlan(
+            kernel_faults=(KernelFault("crash", "containment", 1),)
+        )
+        dag = fresh_dag(prepared)
+        backend = ProcessBackend(
+            dag, workers=2, retry=FAST_RETRY, injector=FaultInjector(plan)
+        )
+        try:
+            paths = run_all_stages(backend)
+            assert_matches_serial(dag, paths, serial_reference)
+            report = backend.fault_report
+            assert report.injected.get("crash") == 1
+            assert report.respawns >= 1
+            assert report.recovered_partitions >= 1
+            assert report.fallbacks == 0
+        finally:
+            backend.close()
+
+    def test_hung_worker_killed_at_deadline_and_recovered(
+        self, prepared, serial_reference
+    ):
+        # hang_seconds far beyond the deadline: recovery must come from
+        # the pool kill, not from riding out the sleep.
+        plan = FaultPlan(
+            kernel_faults=(KernelFault("hang", "transitive", 0),),
+            hang_seconds=30.0,
+        )
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base=0.0, backoff_cap=0.0, task_deadline=1.0
+        )
+        dag = fresh_dag(prepared)
+        backend = ProcessBackend(
+            dag, workers=2, retry=policy, injector=FaultInjector(plan)
+        )
+        try:
+            paths = run_all_stages(backend)
+            assert_matches_serial(dag, paths, serial_reference)
+            report = backend.fault_report
+            assert report.deadline_exceeded >= 1
+            assert report.respawns >= 1
+        finally:
+            backend.close()
+
+
+class TestBudgetExhaustion:
+    def test_serial_fallback_after_budget(self, prepared, serial_reference):
+        plan = FaultPlan(
+            kernel_faults=(KernelFault("error", "bubbles", 3, attempts=99),)
+        )
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base=0.0, backoff_cap=0.0, task_deadline=10.0
+        )
+        dag = fresh_dag(prepared)
+        backend = ProcessBackend(
+            dag, workers=2, retry=policy, injector=FaultInjector(plan)
+        )
+        try:
+            paths = run_all_stages(backend)
+            assert_matches_serial(dag, paths, serial_reference)
+            report = backend.fault_report
+            assert report.fallbacks >= 1
+            assert report.retries >= 1
+        finally:
+            backend.close()
+
+    def test_no_fallback_raises_stage_execution_error(self, prepared):
+        plan = FaultPlan(
+            kernel_faults=(KernelFault("error", "transitive", 0, attempts=99),)
+        )
+        policy = RetryPolicy(
+            max_attempts=2,
+            backoff_base=0.0,
+            backoff_cap=0.0,
+            task_deadline=10.0,
+            fallback_serial=False,
+        )
+        dag = fresh_dag(prepared)
+        backend = ProcessBackend(
+            dag, workers=2, retry=policy, injector=FaultInjector(plan)
+        )
+        try:
+            with pytest.raises(StageExecutionError, match="transitive"):
+                run_all_stages(backend)
+        finally:
+            backend.close()

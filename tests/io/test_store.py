@@ -160,3 +160,120 @@ class TestCorruptedArchives:
         np.savez(path, **arrays)
         with pytest.raises(ValueError, match="version 99"):
             load_readset(path)
+
+
+class TestAtomicWrites:
+    """A crash mid-write must never corrupt an existing archive."""
+
+    @staticmethod
+    def _crashing_writer(monkeypatch):
+        # Simulate the process dying mid-write: emit partial bytes into
+        # the (temporary) destination, then blow up before completion.
+        import repro.io.store as store_mod
+
+        def exploding_savez(dest, **arrays):
+            dest.write(b"PK\x03\x04 partial garbage")
+            raise RuntimeError("simulated crash mid-write")
+
+        monkeypatch.setattr(
+            store_mod.np, "savez_compressed", exploding_savez
+        )
+        monkeypatch.setattr(store_mod.np, "savez", exploding_savez)
+
+    def test_crash_preserves_previous_archive(self, tmp_path, monkeypatch):
+        path = tmp_path / "g.npz"
+        g = sample_graph()
+        save_graph(g, path)
+        self._crashing_writer(monkeypatch)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            save_graph(sample_graph(), path)
+        # The original archive is untouched and still loads.
+        g2 = load_graph(path)
+        assert g2.n_edges == g.n_edges
+        assert (g2.weights == g.weights).all()
+
+    def test_crash_leaks_no_temp_files(self, tmp_path, monkeypatch):
+        path = tmp_path / "g.npz"
+        self._crashing_writer(monkeypatch)
+        with pytest.raises(RuntimeError):
+            save_graph(sample_graph(), path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_success_leaves_only_the_archive(self, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(sample_graph(), path)
+        assert [p.name for p in tmp_path.iterdir()] == ["g.npz"]
+
+    def test_npz_suffix_appended_like_numpy(self, tmp_path):
+        save_graph(sample_graph(), tmp_path / "noext")
+        assert (tmp_path / "noext.npz").exists()
+
+
+class TestCheckpointStore:
+    """Stage-checkpoint persistence (docs/robustness.md)."""
+
+    @staticmethod
+    def state(paths=None):
+        from repro.io.store import CheckpointState
+
+        return CheckpointState(
+            fingerprint={"n_reads": 10, "n_partitions": 4, "seed": 1},
+            completed=["transitive", "containment"],
+            node_alive=np.array([True, False, True]),
+            edge_alive=np.array([True, True, False, False]),
+            stage_times={"transitive": 0.25, "containment": 0.5},
+            paths=paths,
+        )
+
+    def test_roundtrip_without_paths(self, tmp_path):
+        from repro.io.store import load_checkpoint, save_checkpoint
+
+        path = tmp_path / "ck.npz"
+        state = self.state()
+        save_checkpoint(state, path)
+        loaded = load_checkpoint(path)
+        assert loaded.fingerprint == state.fingerprint
+        assert loaded.completed == state.completed
+        assert (loaded.node_alive == state.node_alive).all()
+        assert (loaded.edge_alive == state.edge_alive).all()
+        assert loaded.stage_times == state.stage_times
+        assert loaded.paths is None
+
+    def test_roundtrip_with_paths(self, tmp_path):
+        from repro.io.store import load_checkpoint, save_checkpoint
+
+        path = tmp_path / "ck.npz"
+        paths = [[0, 1, 2], [], [5, 4]]
+        save_checkpoint(self.state(paths=paths), path)
+        assert load_checkpoint(path).paths == paths
+
+    def test_empty_paths_distinct_from_missing(self, tmp_path):
+        from repro.io.store import load_checkpoint, save_checkpoint
+
+        path = tmp_path / "ck.npz"
+        save_checkpoint(self.state(paths=[]), path)
+        assert load_checkpoint(path).paths == []
+
+    def test_masks_required(self, tmp_path):
+        from repro.io.store import CheckpointState, save_checkpoint
+
+        state = CheckpointState(fingerprint={})
+        with pytest.raises(ValueError, match="alive-masks"):
+            save_checkpoint(state, tmp_path / "ck.npz")
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        from repro.io.store import load_checkpoint
+
+        path = tmp_path / "r.npz"
+        save_readset(ReadSet.from_strings(["ACGT"]), path)
+        with pytest.raises(ValueError, match="missing keys"):
+            load_checkpoint(path)
+
+    def test_not_an_archive_rejected(self, tmp_path):
+        from repro.io.store import load_checkpoint
+
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"nope")
+        with pytest.raises(ValueError, match="not a checkpoint archive"):
+            load_checkpoint(path)

@@ -46,6 +46,7 @@ class TestRegistry:
             "PERF002",
             "PURE001",
             "PURE002",
+            "ROB001",
         ]
 
     def test_every_rule_has_summary_and_severity(self):

@@ -1,0 +1,133 @@
+"""True-positive / true-negative fixtures for ROB001."""
+
+import textwrap
+
+from repro.lint import Severity, lint_source, select_rules
+
+
+def rob_findings(src, path="src/repro/fixture.py"):
+    return lint_source(
+        textwrap.dedent(src), path=path, rules=select_rules(["ROB001"])
+    )
+
+
+class TestROB001SwallowedException:
+    def test_bare_except_pass_flagged(self):
+        fs = rob_findings(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    pass
+            """
+        )
+        assert len(fs) == 1
+        assert fs[0].rule == "ROB001"
+        assert fs[0].severity is Severity.ERROR
+        assert "does nothing" in fs[0].message
+
+    def test_except_exception_pass_flagged(self):
+        fs = rob_findings(
+            """
+            try:
+                work()
+            except Exception:
+                pass
+            """
+        )
+        assert len(fs) == 1
+
+    def test_except_exception_as_name_ellipsis_flagged(self):
+        fs = rob_findings(
+            """
+            try:
+                work()
+            except Exception as exc:
+                ...
+            """
+        )
+        assert len(fs) == 1
+
+    def test_base_exception_in_tuple_flagged(self):
+        fs = rob_findings(
+            """
+            try:
+                work()
+            except (ValueError, BaseException):
+                pass
+            """
+        )
+        assert len(fs) == 1
+
+    def test_narrow_except_pass_clean(self):
+        # Swallowing a specific anticipated error is a decision.
+        fs = rob_findings(
+            """
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            """
+        )
+        assert fs == []
+
+    def test_broad_except_with_handling_clean(self):
+        fs = rob_findings(
+            """
+            try:
+                work()
+            except Exception as exc:
+                log.warning("work failed: %s", exc)
+            """
+        )
+        assert fs == []
+
+    def test_broad_except_reraise_clean(self):
+        fs = rob_findings(
+            """
+            try:
+                work()
+            except Exception:
+                cleanup()
+                raise
+            """
+        )
+        assert fs == []
+
+    def test_docstring_only_body_flagged(self):
+        # A bare string "explains" but still erases the failure.
+        fs = rob_findings(
+            '''
+            try:
+                work()
+            except Exception:
+                "best effort"
+            '''
+        )
+        assert len(fs) == 1
+
+    def test_noqa_suppresses(self):
+        fs = rob_findings(
+            """
+            try:
+                work()
+            except Exception:  # noqa: ROB001 - probed feature detection
+                pass
+            """
+        )
+        assert fs == []
+
+    def test_shipped_sources_are_clean(self):
+        # The fault-tolerance PR's own code must satisfy its own rule.
+        from pathlib import Path
+
+        from repro.lint import lint_paths
+
+        repo = Path(__file__).resolve().parents[2]
+        findings = [
+            f
+            for f in lint_paths([repo / "src" / "repro"])
+            if f.rule == "ROB001"
+        ]
+        assert findings == []

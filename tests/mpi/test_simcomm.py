@@ -302,3 +302,26 @@ class TestCluster:
 
         results, _ = cluster(3).run(fn, 10, scale=2)
         assert results == [10, 12, 14]
+
+
+class TestErrorContext:
+    """Timeout/fault errors must carry enough context to debug a hang.
+
+    Regression guard for the diagnosable DeadlockError format: the
+    message names the waiting rank, the peer, the tag, the timeout,
+    and the virtual time at which the wait gave up.
+    """
+
+    def test_timeout_message_names_rank_peer_tag_and_time(self):
+        def fn(comm):
+            if comm.rank == 1:
+                comm.advance(1.5)
+                comm.recv(source=0, tag=7)  # never sent
+
+        with pytest.raises(RuntimeError, match="rank 1 failed") as ei:
+            cluster(2, deadlock_timeout=0.2).run(fn)
+        message = str(ei.value)
+        assert "timed out receiving from rank 0" in message
+        assert "tag 7" in message
+        assert "after 0.2s" in message
+        assert "virtual time 1.5" in message
