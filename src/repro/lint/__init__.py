@@ -15,6 +15,10 @@ rule      severity  checks
 MPI001    error     collective calls under ``comm.rank``-dependent branches
 MPI002    error     literal message tags in the reserved space (<= -1000)
 MPI003    error     payload names mutated after an eager ``send``/``isend``
+MPI004    error     point-to-point sends/recvs no peer rank ever matches
+MPI005    error     cyclic send/recv waits (deadlock, with per-role witness)
+MPI006    error     collective divergence across ranks (whole-program MPI001)
+MPI007    warning   receiver uses a payload type the sender never ships
 DET001    warning   ``random.*`` / ``np.random.*`` global-state calls
 PERF001   warning   compute loops in rank functions outside ``comm.timed()``
 PERF002   warning   per-element ``.tolist()`` loops on the overlap hot path
@@ -23,6 +27,17 @@ PURE001   error     kernels mutating parameters/globals (interprocedural)
 PURE002   error     kernels reaching unseeded RNG, wall clock, or I/O
 ARCH002   error     ``register_stage`` kernel/merge contract violations
 ========  ========  =====================================================
+
+The MPI004-007 rules run a *protocol verifier*: ``repro.lint.cfg``
+lowers each communicator-taking function to a control-flow graph,
+``repro.lint.protocol`` abstractly interprets every root driver once
+per concrete rank at a small model size (folding ``comm.rank`` /
+``comm.size`` arithmetic, splicing helpers through the call graph),
+and a matching simulation of the resulting per-rank event traces
+yields unmatched messages, cyclic waits, and diverging collectives —
+with witnesses that name each role's blocking event.  Inspect a
+driver's reconstructed protocol with
+``repro lint <paths> --protocol-report FUNCTION``.
 
 The PURE/ARCH002 rules are *whole-program*: ``repro.lint.project``
 parses every linted file once, resolves imports into a package-level
@@ -50,12 +65,14 @@ race) and reports unconsumed mailbox messages at shutdown as
 """
 
 from repro.lint.cache import DEFAULT_CACHE, LintCache
+from repro.lint.cfg import CFG, build_cfg
 from repro.lint.context import FileContext
 from repro.lint.driver import (
     LintRun,
     LintStats,
     UsageError,
     analyze_paths,
+    build_project,
     format_findings,
     iter_python_files,
     lint_file,
@@ -64,7 +81,14 @@ from repro.lint.driver import (
     run,
 )
 from repro.lint.findings import Finding, Severity, finding_fingerprints
-from repro.lint.project import ProjectContext, summarize_file
+from repro.lint.project import SUMMARY_VERSION, ProjectContext, summarize_file
+from repro.lint.protocol import (
+    CommEvent,
+    ProtocolAnalysis,
+    RootProtocol,
+    analyze_protocols,
+    format_protocol,
+)
 from repro.lint.registry import (
     ProjectRule,
     Rule,
@@ -79,7 +103,16 @@ from repro.lint.registry import (
 __all__ = [
     "FileContext",
     "ProjectContext",
+    "SUMMARY_VERSION",
     "summarize_file",
+    "CFG",
+    "build_cfg",
+    "CommEvent",
+    "RootProtocol",
+    "ProtocolAnalysis",
+    "analyze_protocols",
+    "format_protocol",
+    "build_project",
     "Finding",
     "Severity",
     "finding_fingerprints",

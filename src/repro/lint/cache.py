@@ -20,7 +20,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.lint.context import FileContext
-from repro.lint.project import FileSummary, summarize_file
+from repro.lint.project import SUMMARY_VERSION, FileSummary, summarize_file
 
 __all__ = ["CacheEntry", "LintCache", "DEFAULT_CACHE"]
 
@@ -52,7 +52,16 @@ class LintCache:
 
     @staticmethod
     def digest_of(source: str) -> str:
-        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+        """Cache key of one file version: summary schema + content.
+
+        The :data:`~repro.lint.project.SUMMARY_VERSION` prefix makes a
+        schema bump look like a content change, so entries summarized
+        under an older :class:`~repro.lint.project.FileSummary` shape
+        are re-parsed instead of served stale to long-lived processes.
+        """
+        h = hashlib.sha256(f"summary-v{SUMMARY_VERSION}:".encode("utf-8"))
+        h.update(source.encode("utf-8"))
+        return h.hexdigest()
 
     def file_entry(self, path: str, source: str) -> CacheEntry:
         """Parsed entry for one file, reusing an unchanged version.

@@ -1,0 +1,240 @@
+"""Intraprocedural control-flow graphs over function bodies.
+
+The protocol analysis (:mod:`repro.lint.protocol`) needs more than the
+guard-stack walk the per-file MPI rules use: a send inside a loop body
+executes once *per iteration*, an early ``return`` under ``if rank ==
+0`` removes every later event from that role's protocol, and a
+``break`` cuts a loop short for one role only.  This module lowers one
+``ast.FunctionDef`` body to a small CFG that makes those paths
+explicit:
+
+- a :class:`BasicBlock` holds straight-line *units* (statements and,
+  for ``with`` items, their context expressions — so ``with
+  comm.timed():`` bodies stay on the fall-through path);
+- an ``If`` ends its block with a :class:`BranchInfo` (two successor
+  blocks plus the test expression);
+- ``While``/``For`` become a header block carrying a
+  :class:`LoopInfo` (body entry, loop exit, iterable/test), with the
+  back edge expressed as the body tail's fall-through successor;
+- ``return``/``raise`` terminate their block (edge to the synthetic
+  exit); ``break``/``continue`` connect to the innermost loop's exit
+  or header.
+
+``try`` blocks are lowered optimistically: the protected body and the
+``finally`` suite stay on the main path, while handler suites hang off
+the graph as alternative successors (``alt_succs``) that the abstract
+interpreter does not execute — the protocol pass assumes exceptions
+abort the whole SPMD job rather than rerouting communication, matching
+how :class:`~repro.mpi.cluster.SimCluster` re-raises rank failures.
+
+Statements after a ``return``/``raise``/``break``/``continue`` in the
+same suite are dead code and are not placed in any block.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["BasicBlock", "BranchInfo", "LoopInfo", "CFG", "build_cfg"]
+
+
+@dataclass
+class BranchInfo:
+    """An ``if`` at the end of a block: test plus the two successors."""
+
+    test: ast.expr
+    node: ast.If
+    true: int
+    false: int
+
+
+@dataclass
+class LoopInfo:
+    """A loop header: where the body enters and where the loop exits."""
+
+    kind: str  # "for" | "while"
+    node: ast.For | ast.While
+    #: loop target expression (For) — a Name for simple loops.
+    target: ast.expr | None
+    #: iterable expression (For) / test expression (While).
+    iter: ast.expr | None
+    test: ast.expr | None
+    body: int
+    exit: int
+
+
+@dataclass
+class BasicBlock:
+    """Straight-line units plus exactly one way control leaves."""
+
+    idx: int
+    units: list[ast.AST] = field(default_factory=list)
+    #: two-way branch (mutually exclusive with loop/succ/terminal).
+    branch: BranchInfo | None = None
+    #: loop header info (successors are loop.body / loop.exit).
+    loop: LoopInfo | None = None
+    #: unconditional fall-through successor.
+    succ: int | None = None
+    #: control leaves the function after the units (return/raise/exit).
+    terminal: bool = False
+    #: optimistically-unexecuted successors (exception handler entries).
+    alt_succs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """One function body as basic blocks; ``blocks[exit]`` is empty."""
+
+    name: str
+    blocks: list[BasicBlock]
+    entry: int
+    exit: int
+
+    def block(self, idx: int) -> BasicBlock:
+        return self.blocks[idx]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+
+    def new_block(self) -> BasicBlock:
+        b = BasicBlock(idx=len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        entry = self.new_block()
+        exit_b = self.new_block()
+        self.exit = exit_b.idx
+        end = self._suite(func.body, entry, loops=[])
+        if end is not None:
+            end.succ = self.exit
+        return CFG(
+            name=func.name, blocks=self.blocks, entry=entry.idx, exit=self.exit
+        )
+
+    # -- suites --------------------------------------------------------
+
+    def _suite(
+        self,
+        stmts: list[ast.stmt],
+        cur: BasicBlock,
+        loops: list[tuple[int, int]],  # (header idx, exit idx) innermost last
+    ) -> BasicBlock | None:
+        """Lower a statement suite; returns the open tail block or None
+        when every path already left the suite (dead tail dropped)."""
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                cur.units.append(stmt)
+                cur.terminal = True
+                cur.succ = self.exit
+                return None
+            if isinstance(stmt, ast.Break):
+                cur.succ = loops[-1][1] if loops else self.exit
+                return None
+            if isinstance(stmt, ast.Continue):
+                cur.succ = loops[-1][0] if loops else self.exit
+                return None
+            if isinstance(stmt, ast.If):
+                cur = self._if(stmt, cur, loops)
+                if cur is None:
+                    return None
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                cur = self._loop(stmt, cur, loops)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    cur.units.append(item.context_expr)
+                tail = self._suite(stmt.body, cur, loops)
+                if tail is None:
+                    return None
+                cur = tail
+            elif isinstance(stmt, ast.Try):
+                cur = self._try(stmt, cur, loops)
+                if cur is None:
+                    return None
+            else:
+                # Simple statement (incl. nested defs, which the
+                # protocol pass treats as opaque values).
+                cur.units.append(stmt)
+        return cur
+
+    def _if(
+        self, stmt: ast.If, cur: BasicBlock, loops
+    ) -> BasicBlock | None:
+        then_entry = self.new_block()
+        then_tail = self._suite(stmt.body, then_entry, loops)
+        if stmt.orelse:
+            else_entry = self.new_block()
+            else_tail = self._suite(stmt.orelse, else_entry, loops)
+        else:
+            else_entry = else_tail = None
+        join = self.new_block()
+        cur.branch = BranchInfo(
+            test=stmt.test,
+            node=stmt,
+            true=then_entry.idx,
+            false=else_entry.idx if else_entry is not None else join.idx,
+        )
+        open_tails = 0
+        if then_tail is not None:
+            then_tail.succ = join.idx
+            open_tails += 1
+        if else_entry is None:
+            open_tails += 1  # the false edge targets the join directly
+        elif else_tail is not None:
+            else_tail.succ = join.idx
+            open_tails += 1
+        return join if open_tails else None
+
+    def _loop(self, stmt, cur: BasicBlock, loops) -> BasicBlock:
+        header = self.new_block()
+        cur.succ = header.idx
+        body_entry = self.new_block()
+        after = self.new_block()
+        if isinstance(stmt, ast.While):
+            info = LoopInfo(
+                kind="while", node=stmt, target=None, iter=None,
+                test=stmt.test, body=body_entry.idx, exit=after.idx,
+            )
+        else:
+            info = LoopInfo(
+                kind="for", node=stmt, target=stmt.target, iter=stmt.iter,
+                test=None, body=body_entry.idx, exit=after.idx,
+            )
+        header.loop = info
+        tail = self._suite(stmt.body, body_entry, loops + [(header.idx, after.idx)])
+        if tail is not None:
+            tail.succ = header.idx  # back edge
+        if stmt.orelse:
+            # the else suite runs on normal loop exit: splice it
+            # between the header's exit edge and the after block.
+            else_entry = self.new_block()
+            info.exit = else_entry.idx
+            else_tail = self._suite(stmt.orelse, else_entry, loops)
+            if else_tail is not None:
+                else_tail.succ = after.idx
+        return after
+
+    def _try(self, stmt: ast.Try, cur: BasicBlock, loops) -> BasicBlock | None:
+        # Optimistic lowering: body -> orelse -> finally on the main
+        # path; handlers are alternative entries the interpreter skips.
+        for handler in stmt.handlers:
+            h_entry = self.new_block()
+            cur.alt_succs.append(h_entry.idx)
+            h_tail = self._suite(handler.body, h_entry, loops)
+            if h_tail is not None:
+                h_tail.terminal = True
+                h_tail.succ = self.exit
+        tail = self._suite(stmt.body, cur, loops)
+        if tail is not None and stmt.orelse:
+            tail = self._suite(stmt.orelse, tail, loops)
+        if tail is not None and stmt.finalbody:
+            tail = self._suite(stmt.finalbody, tail, loops)
+        return tail
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function body to a :class:`CFG`."""
+    return _Builder().build(func)

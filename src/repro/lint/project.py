@@ -37,7 +37,12 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.lint.context import MUTATING_METHODS, FileContext, dotted_name
+from repro.lint.context import (
+    MUTATING_METHODS,
+    FileContext,
+    comm_param_name,
+    dotted_name,
+)
 
 __all__ = [
     "ArgRef",
@@ -47,9 +52,17 @@ __all__ = [
     "FileSummary",
     "EffectSummary",
     "ProjectContext",
+    "SUMMARY_VERSION",
     "module_name_for",
     "summarize_file",
 ]
+
+#: schema version of :class:`FileSummary`/:class:`FunctionInfo`.  Folded
+#: into every :class:`~repro.lint.cache.LintCache` digest so extending
+#: the summaries (as the protocol pass did with ``comm_param``/``node``)
+#: invalidates long-lived process-global caches instead of serving
+#: stale shapes to daemon/editor runs.  Bump on any field change.
+SUMMARY_VERSION = 2
 
 #: RNG constructors/types that are explicitly seeded or stateless —
 #: calls resolving to these are *not* hidden-global-state draws.
@@ -167,6 +180,11 @@ class FunctionInfo:
     is_method: bool
     effects: list[Effect] = field(default_factory=list)
     calls: list[CallSite] = field(default_factory=list)
+    #: communicator parameter name (SPMD functions), else None.
+    comm_param: str | None = None
+    #: the function's AST node — kept for the flow-sensitive protocol
+    #: pass, which needs full bodies (CFGs), not just effect summaries.
+    node: ast.FunctionDef | ast.AsyncFunctionDef | None = None
 
     @property
     def fq(self) -> str:
@@ -496,6 +514,8 @@ def _function_info(
         is_method=is_method,
         effects=walker.effects,
         calls=walker.calls,
+        comm_param=comm_param_name(node),
+        node=node,
     )
 
 

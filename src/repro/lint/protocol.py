@@ -1,0 +1,1449 @@
+"""Flow-sensitive communication-protocol analysis (MPI004–MPI007).
+
+Builds, for every *root* communicator-taking function in the linted
+tree (one nobody else calls with a communicator — the SPMD entry
+points :class:`~repro.mpi.cluster.SimCluster` launches), the ordered
+sequence of communication events each rank executes: its **protocol**.
+
+The pipeline:
+
+1. :mod:`repro.lint.cfg` lowers each function body to a control-flow
+   graph (branches, loops, early returns, ``with comm.timed()``).
+2. A concrete abstract interpreter executes the CFG once per rank of a
+   small model cluster, evaluating rank/size arithmetic (``rank + 1``,
+   ``(rank - 1) % comm.size``, ``comm.size - 1``, constants folded
+   through local assignments), expanding ``range(comm.size)``-style
+   loops, following rank-deterministic branches, and splicing callee
+   protocols through the project call graph whenever the communicator
+   is passed on.  ``sendrecv`` contributes a send *and* a recv event.
+3. The resulting per-rank event lists are run through a protocol
+   simulator with eager sends and blocking receives/collectives.  The
+   terminal state classifies the findings: leftover sends and
+   never-satisfiable receives (MPI004), cyclic waits between roles
+   (MPI005), ranks parked at mismatched collectives (MPI006), and
+   matched send/recv pairs whose payload type cannot support the
+   receiver's downstream use (MPI007).
+
+The analysis is *optimistic*: anything it cannot model — a branch on
+runtime data that communicates on both sides, a peer expression it
+cannot evaluate, a loop over rank-local data that sends — marks that
+driver **imprecise** and exempts it from the matching rules (the
+runtime sanitizer remains the dynamic backstop).  Imprecision never
+silently hides a diagnosable collective hazard: the static
+MPI006 scan (rank-guarded calls that transitively reach a collective,
+collectives under loops whose trip count derives from rank-local
+data) runs on the AST regardless.
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.lint.cfg import CFG, BasicBlock, build_cfg
+from repro.lint.context import (
+    COLLECTIVE_METHODS,
+    dotted_name,
+    is_rank_dependent,
+)
+from repro.lint.project import FunctionInfo, ProjectContext
+
+__all__ = [
+    "CommEvent",
+    "RootProtocol",
+    "SimOutcome",
+    "ProtocolAnalysis",
+    "analyze_protocols",
+    "format_protocol",
+]
+
+#: default model-cluster size; grown past any literal rank mentioned.
+DEFAULT_MODEL_SIZE = 4
+_MAX_MODEL_SIZE = 9
+_MAX_RANGE = 128
+_STEP_BUDGET = 50_000
+_CALL_DEPTH = 12
+
+_SEND_OPS = frozenset({"send", "isend"})
+_RECV_OPS = frozenset({"recv", "irecv"})
+#: positional index of the root argument of rooted collectives.
+_ROOTED_COLLECTIVES = {"bcast": 1, "gather": 1, "scatter": 1, "reduce": 2}
+#: communicator methods that are not communication.
+_NEUTRAL_COMM_METHODS = frozenset(
+    {"timed", "advance", "get_rank", "get_size", "Get_rank", "Get_size"}
+)
+
+#: payload types a downstream use requires (MPI007); uses outside this
+#: table are never flagged.
+_USE_SUPPORTED: dict[str, frozenset[str]] = {
+    "append": frozenset({"list"}),
+    "extend": frozenset({"list"}),
+    "insert": frozenset({"list"}),
+    "sort": frozenset({"list"}),
+    "reverse": frozenset({"list"}),
+    "keys": frozenset({"dict"}),
+    "values": frozenset({"dict"}),
+    "items": frozenset({"dict"}),
+    "get": frozenset({"dict"}),
+    "setdefault": frozenset({"dict"}),
+    "update": frozenset({"dict", "set"}),
+    "add": frozenset({"set"}),
+    "discard": frozenset({"set"}),
+    "astype": frozenset({"ndarray"}),
+    "reshape": frozenset({"ndarray"}),
+    "ravel": frozenset({"ndarray"}),
+    "tolist": frozenset({"ndarray"}),
+    "shape": frozenset({"ndarray"}),
+    "dtype": frozenset({"ndarray"}),
+    "split": frozenset({"str", "bytes"}),
+    "strip": frozenset({"str", "bytes"}),
+    "encode": frozenset({"str"}),
+    "decode": frozenset({"bytes"}),
+    "__iter__": frozenset({"list", "dict", "tuple", "set", "ndarray", "str", "bytes"}),
+    "__len__": frozenset({"list", "dict", "tuple", "set", "ndarray", "str", "bytes"}),
+    "__getitem__": frozenset({"list", "dict", "tuple", "ndarray", "str", "bytes"}),
+    "__setitem__": frozenset({"list", "dict", "ndarray"}),
+}
+
+_NDARRAY_CONSTRUCTORS = frozenset(
+    {"array", "asarray", "zeros", "ones", "empty", "full", "arange",
+     "concatenate", "unique", "copy", "frombuffer", "linspace"}
+)
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One concrete communication step of one rank."""
+
+    kind: str  # "send" | "recv" | "coll"
+    op: str  # method name as written (isend, sendrecv, bcast, ...)
+    rank: int
+    #: dest (send) / source (recv) / root (rooted collective) / None.
+    peer: int | None
+    tag: int
+    path: str
+    lineno: int
+    fq: str
+    #: call chain from the root driver down to the owning function.
+    via: tuple[str, ...] = ()
+    #: inferred payload type for sends ("list", "ndarray", "none", ...).
+    payload: str | None = None
+    #: downstream uses of the received object (method names, dunders).
+    uses: frozenset[str] = frozenset()
+
+    def describe(self) -> str:
+        if self.kind == "send":
+            return f"{self.op}(dest={self.peer}, tag={self.tag})"
+        if self.kind == "recv":
+            return f"{self.op}(source={self.peer}, tag={self.tag})"
+        if self.peer is None:
+            return f"{self.op}()"
+        return f"{self.op}(root={self.peer})"
+
+    def site(self) -> str:
+        return f"{self.path}:{self.lineno}"
+
+
+class _Imprecise(Exception):
+    """The driver's protocol cannot be modelled statically."""
+
+    def __init__(self, reason: str, lineno: int | None = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.lineno = lineno
+
+
+@dataclass
+class RootProtocol:
+    """Per-rank protocols of one root driver at the model size."""
+
+    fq: str
+    path: str
+    lineno: int
+    size: int
+    #: events per rank (len == size); empty when imprecise.
+    ranks: list[list[CommEvent]] = field(default_factory=list)
+    imprecise: str | None = None
+
+    def role_groups(self) -> list[tuple[list[int], list[CommEvent]]]:
+        """Ranks grouped into roles by identical event shapes."""
+        groups: list[tuple[list[int], list[CommEvent]]] = []
+        for rank, events in enumerate(self.ranks):
+            sig = [(e.kind, e.op, e.path, e.lineno, e.tag) for e in events]
+            for ranks_in, rep in groups:
+                rep_sig = [(e.kind, e.op, e.path, e.lineno, e.tag) for e in rep]
+                if rep_sig == sig:
+                    ranks_in.append(rank)
+                    break
+            else:
+                groups.append(([rank], events))
+        return groups
+
+
+@dataclass
+class SimOutcome:
+    """Terminal state of one protocol simulation."""
+
+    #: events completed per rank.
+    completed: list[int]
+    #: (send event, recv event) pairs that matched.
+    matched: list[tuple[CommEvent, CommEvent]]
+    #: sends that were never received (clean-termination leftovers).
+    unreceived: list[CommEvent]
+    #: rank -> blocking event at the stuck state.
+    blocked: dict[int, CommEvent]
+    #: rank cycles (each a list of ranks) that wait on one another.
+    cycles: list[list[int]]
+    #: blocked receives whose matching send never materializes.
+    unmatched_recvs: list[CommEvent]
+    #: True when the stuck state involves mismatched collectives.
+    collective_divergence: bool
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.blocked)
+
+
+# -- expression evaluation ---------------------------------------------------
+
+
+class _Frame:
+    """One function activation of the per-rank interpreter."""
+
+    def __init__(self, info: FunctionInfo, comm: str, cfg: CFG) -> None:
+        self.info = info
+        self.comm = comm
+        self.cfg = cfg
+        self.env: dict[str, int] = {}
+        self.types: dict[str, str] = {}
+        self.tainted: set[str] = set()
+
+
+def _is_comm_name(node: ast.expr, comm: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == comm
+
+
+def _iter_own(node: ast.AST):
+    """Walk a subtree without entering *nested* function definitions.
+
+    The root is always expanded — passing a function's own def walks
+    that function's body, not an empty sequence.
+    """
+    yield node
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        cur = stack.pop()
+        yield cur
+        if not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(cur))
+
+
+def _comm_relevant(node: ast.AST, comm: str) -> bool:
+    """True when the subtree communicates or passes the comm onward."""
+    for sub in _iter_own(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        f = sub.func
+        if (
+            isinstance(f, ast.Attribute)
+            and _is_comm_name(f.value, comm)
+            and f.attr not in _NEUTRAL_COMM_METHODS
+        ):
+            return True
+        if any(_is_comm_name(a, comm) for a in sub.args) or any(
+            _is_comm_name(k.value, comm) for k in sub.keywords
+        ):
+            return True
+    return False
+
+
+def _has_control_flow(stmts: list[ast.stmt]) -> bool:
+    for stmt in stmts:
+        for sub in _iter_own(stmt):
+            if isinstance(sub, (ast.Return, ast.Break, ast.Continue, ast.Raise)):
+                return True
+    return False
+
+
+def _arm_raises(stmts: list[ast.stmt]) -> bool:
+    """The suite is an error arm: it raises at its own top level."""
+    return any(isinstance(s, ast.Raise) for s in stmts)
+
+
+def _rank_tainted(expr: ast.expr, comm: str, tainted: set[str]) -> bool:
+    return is_rank_dependent(expr, comm, tainted)
+
+
+class _Evaluator:
+    """Concrete evaluation of rank/size arithmetic for one rank."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self.size = size
+
+    def eval(self, expr: ast.expr, frame: _Frame) -> int | None:
+        v = self._eval(expr, frame)
+        if isinstance(v, bool):
+            return int(v)
+        return v if isinstance(v, int) else None
+
+    def eval_bool(self, expr: ast.expr, frame: _Frame) -> bool | None:
+        v = self._eval(expr, frame)
+        return bool(v) if isinstance(v, (int, bool)) else None
+
+    def _eval(self, expr: ast.expr, frame: _Frame):
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool) or type(expr.value) is int:
+                return expr.value
+            return None
+        if isinstance(expr, ast.Name):
+            return frame.env.get(expr.id)
+        if isinstance(expr, ast.Attribute) and _is_comm_name(expr.value, frame.comm):
+            if expr.attr == "rank":
+                return self.rank
+            if expr.attr == "size":
+                return self.size
+            return None
+        if isinstance(expr, ast.Call):
+            f = expr.func
+            if isinstance(f, ast.Attribute) and _is_comm_name(f.value, frame.comm):
+                if f.attr in ("get_rank", "Get_rank"):
+                    return self.rank
+                if f.attr in ("get_size", "Get_size"):
+                    return self.size
+                return None
+            if isinstance(f, ast.Name) and f.id == "int" and len(expr.args) == 1:
+                return self._eval(expr.args[0], frame)
+            return None
+        if isinstance(expr, ast.UnaryOp):
+            v = self._eval(expr.operand, frame)
+            if v is None:
+                return None
+            if isinstance(expr.op, ast.USub):
+                return -v
+            if isinstance(expr.op, ast.Not):
+                return not v
+            return None
+        if isinstance(expr, ast.BinOp):
+            lhs = self._eval(expr.left, frame)
+            rhs = self._eval(expr.right, frame)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                if isinstance(expr.op, ast.Add):
+                    return lhs + rhs
+                if isinstance(expr.op, ast.Sub):
+                    return lhs - rhs
+                if isinstance(expr.op, ast.Mult):
+                    return lhs * rhs
+                if isinstance(expr.op, ast.FloorDiv):
+                    return lhs // rhs
+                if isinstance(expr.op, ast.Mod):
+                    return lhs % rhs
+                if isinstance(expr.op, ast.Pow):
+                    return lhs ** rhs
+                if isinstance(expr.op, ast.BitXor):
+                    return lhs ^ rhs
+            except (ZeroDivisionError, ValueError, OverflowError):
+                return None
+            return None
+        if isinstance(expr, ast.Compare):
+            left = self._eval(expr.left, frame)
+            if left is None:
+                return None
+            for op, comparator in zip(expr.ops, expr.comparators):
+                right = self._eval(comparator, frame)
+                if right is None:
+                    return None
+                ok = self._compare(op, left, right)
+                if ok is None or not ok:
+                    return ok
+                left = right
+            return True
+        if isinstance(expr, ast.BoolOp):
+            is_and = isinstance(expr.op, ast.And)
+            for operand in expr.values:
+                v = self.eval_bool(operand, frame)
+                if v is None:
+                    return None
+                if is_and and not v:
+                    return False
+                if not is_and and v:
+                    return True
+            return is_and
+        return None
+
+    @staticmethod
+    def _compare(op: ast.cmpop, lhs: int, rhs: int) -> bool | None:
+        if isinstance(op, ast.Eq):
+            return lhs == rhs
+        if isinstance(op, ast.NotEq):
+            return lhs != rhs
+        if isinstance(op, ast.Lt):
+            return lhs < rhs
+        if isinstance(op, ast.LtE):
+            return lhs <= rhs
+        if isinstance(op, ast.Gt):
+            return lhs > rhs
+        if isinstance(op, ast.GtE):
+            return lhs >= rhs
+        return None
+
+
+# -- payload typing / downstream uses ---------------------------------------
+
+
+def _infer_type(expr: ast.expr, frame: _Frame) -> str | None:
+    if isinstance(expr, ast.Constant):
+        v = expr.value
+        if v is None:
+            return "none"
+        if isinstance(v, bool):
+            return "bool"
+        if isinstance(v, int):
+            return "int"
+        if isinstance(v, float):
+            return "float"
+        if isinstance(v, str):
+            return "str"
+        if isinstance(v, bytes):
+            return "bytes"
+        return None
+    if isinstance(expr, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(expr, ast.Tuple):
+        return "tuple"
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, ast.Name):
+        return frame.types.get(expr.id)
+    if isinstance(expr, ast.Call):
+        text = dotted_name(expr.func)
+        if text is None:
+            return None
+        tail = text.rsplit(".", 1)[-1]
+        if tail in ("list", "sorted"):
+            return "list"
+        if tail == "dict":
+            return "dict"
+        if tail == "set":
+            return "set"
+        if tail == "tuple":
+            return "tuple"
+        if tail == "len":
+            return "int"
+        if "." in text and tail in _NDARRAY_CONSTRUCTORS:
+            return "ndarray"
+        return None
+    return None
+
+
+def _uses_after(func_node: ast.AST, name: str, lineno: int) -> frozenset[str]:
+    """Downstream uses of ``name`` after ``lineno`` in one function."""
+    uses: set[str] = set()
+    for node in _iter_own(func_node):
+        nl = getattr(node, "lineno", 0)
+        if nl <= lineno:
+            continue
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == name:
+                uses.add(node.attr)
+        elif isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+            if node.value.id == name:
+                uses.add(
+                    "__setitem__"
+                    if isinstance(node.ctx, (ast.Store, ast.Del))
+                    else "__getitem__"
+                )
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.iter, ast.Name) and node.iter.id == name:
+                uses.add("__iter__")
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "len" and any(
+                isinstance(a, ast.Name) and a.id == name for a in node.args
+            ):
+                uses.add("__len__")
+    return frozenset(uses)
+
+
+# -- the per-rank interpreter ------------------------------------------------
+
+_EXIT = -1
+
+
+class _RankExecutor:
+    """Executes one root driver's CFG for one concrete rank."""
+
+    def __init__(self, analysis: "ProtocolAnalysis", rank: int, size: int) -> None:
+        self.analysis = analysis
+        self.ev = _Evaluator(rank, size)
+        self.rank = rank
+        self.size = size
+        self.events: list[CommEvent] = []
+        self.steps = 0
+        self.chain: tuple[str, ...] = ()
+        self.active: set[str] = set()
+
+    # -- entry ---------------------------------------------------------
+
+    def run(self, info: FunctionInfo) -> list[CommEvent]:
+        self._run_function(info)
+        return self.events
+
+    def _run_function(self, info: FunctionInfo) -> None:
+        if info.fq in self.active:
+            raise _Imprecise(
+                f"recursive communicator call through `{info.name}`",
+                info.lineno,
+            )
+        if len(self.active) >= _CALL_DEPTH:
+            raise _Imprecise("communicator call depth exceeded", info.lineno)
+        comm = info.comm_param
+        if comm is None or info.node is None:
+            raise _Imprecise(
+                f"`{info.name}` receives the communicator but has no "
+                "recognizable comm parameter",
+                info.lineno,
+            )
+        frame = _Frame(info, comm, self.analysis.cfg_for(info))
+        self.active.add(info.fq)
+        prev_chain = self.chain
+        self.chain = prev_chain + (info.fq,)
+        try:
+            self._run_blocks(frame, frame.cfg.entry, frozenset())
+        finally:
+            self.chain = prev_chain
+            self.active.discard(info.fq)
+
+    # -- block walk ----------------------------------------------------
+
+    def _run_blocks(self, frame: _Frame, block: int, stops: frozenset[int]) -> int:
+        while True:
+            if block in stops:
+                return block
+            if block == frame.cfg.exit:
+                return _EXIT
+            self.steps += 1
+            if self.steps > _STEP_BUDGET:
+                raise _Imprecise("protocol analysis budget exceeded")
+            b = frame.cfg.blocks[block]
+            for unit in b.units:
+                self._unit(unit, frame)
+            if b.terminal:
+                return _EXIT
+            if b.branch is not None:
+                block = self._choose(b.branch, frame)
+            elif b.loop is not None:
+                res = self._loop(b, frame)
+                if res == _EXIT:
+                    return _EXIT
+                block = res
+            elif b.succ is not None:
+                block = b.succ
+            else:
+                return _EXIT
+
+    def _choose(self, branch, frame: _Frame) -> int:
+        t = self.ev.eval_bool(branch.test, frame)
+        if t is not None:
+            return branch.true if t else branch.false
+        node = branch.node
+        if _arm_raises(node.body) and not _comm_relevant(node, frame.comm):
+            return branch.false
+        if node.orelse and _arm_raises(node.orelse) and not _comm_relevant(
+            node, frame.comm
+        ):
+            return branch.true
+        arms_quiet = not _comm_relevant(node, frame.comm) and not _has_control_flow(
+            node.body
+        ) and not _has_control_flow(node.orelse)
+        if arms_quiet:
+            return branch.false
+        kind = (
+            "rank-dependent"
+            if _rank_tainted(branch.test, frame.comm, frame.tainted)
+            else "data-dependent"
+        )
+        raise _Imprecise(
+            f"{kind} branch at line {node.lineno} guards communication and "
+            "cannot be resolved statically",
+            node.lineno,
+        )
+
+    # -- loops ---------------------------------------------------------
+
+    def _loop(self, header: BasicBlock, frame: _Frame) -> int:
+        info = header.loop
+        stops = frozenset({header.idx, info.exit})
+        if info.kind == "while":
+            return self._while_loop(header, frame, stops)
+        plan = self._iter_plan(info, frame)
+        if plan == "skip":
+            return info.exit
+        for value in plan:
+            self._bind_target(info.target, value, frame)
+            res = self._run_blocks(frame, info.body, stops)
+            if res == _EXIT:
+                return _EXIT
+            if res == info.exit:
+                return info.exit  # break
+        return info.exit
+
+    def _while_loop(self, header: BasicBlock, frame: _Frame, stops) -> int:
+        info = header.loop
+        cap = 4 * self.size + 16
+        iterations = 0
+        while True:
+            t = self.ev.eval_bool(info.test, frame)
+            if t is None:
+                if _rank_tainted(info.test, frame.comm, frame.tainted):
+                    if _comm_relevant(info.node, frame.comm):
+                        raise _Imprecise(
+                            f"loop at line {info.node.lineno} has a "
+                            "rank-dependent condition and communicates",
+                            info.node.lineno,
+                        )
+                    return info.exit
+                if iterations:
+                    return info.exit
+                # Unknown but rank-symmetric condition: model one pass.
+                res = self._run_blocks(frame, info.body, stops)
+                if res == _EXIT:
+                    return _EXIT
+                return info.exit
+            if not t:
+                return info.exit
+            iterations += 1
+            if iterations > cap:
+                raise _Imprecise(
+                    f"loop at line {info.node.lineno} does not terminate "
+                    "within the model bound",
+                    info.node.lineno,
+                )
+            res = self._run_blocks(frame, info.body, stops)
+            if res == _EXIT:
+                return _EXIT
+            if res == info.exit:
+                return info.exit
+
+    def _iter_plan(self, info, frame: _Frame):
+        """Concrete values for a for-loop, [None] for one opaque pass,
+        or "skip" for a communication-free loop we need not model."""
+        it = info.iter
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+            and 1 <= len(it.args) <= 3
+            and not it.keywords
+        ):
+            vals = [self.ev.eval(a, frame) for a in it.args]
+            if all(v is not None for v in vals):
+                rng = range(*vals)
+                if len(rng) > _MAX_RANGE:
+                    raise _Imprecise(
+                        f"loop at line {info.node.lineno} spans "
+                        f"{len(rng)} iterations — beyond the model bound",
+                        info.node.lineno,
+                    )
+                return list(rng)
+        if _rank_tainted(it, frame.comm, frame.tainted):
+            if _comm_relevant(info.node, frame.comm):
+                raise _Imprecise(
+                    f"loop at line {info.node.lineno} iterates over "
+                    "rank-local data and communicates",
+                    info.node.lineno,
+                )
+            return "skip"
+        if not _comm_relevant(info.node, frame.comm):
+            return "skip"
+        # Rank-symmetric iterable of unknown length: model one pass
+        # (every rank agrees on the trip count, so matching holds).
+        return [None]
+
+    def _bind_target(self, target, value, frame: _Frame) -> None:
+        if isinstance(target, ast.Name):
+            if value is None:
+                frame.env.pop(target.id, None)
+            else:
+                frame.env[target.id] = value
+            frame.types.pop(target.id, None)
+            frame.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, None, frame)
+
+    # -- units ---------------------------------------------------------
+
+    def _unit(self, unit: ast.AST, frame: _Frame) -> None:
+        recv_binding: dict[int, str] = {}
+        if isinstance(unit, ast.Assign) and len(unit.targets) == 1:
+            target = unit.targets[0]
+            if isinstance(target, ast.Name) and isinstance(unit.value, ast.Call):
+                recv_binding[id(unit.value)] = target.id
+        comp_calls = {
+            id(n)
+            for comp in _iter_own(unit)
+            if isinstance(
+                comp, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            )
+            for n in ast.walk(comp)
+            if isinstance(n, ast.Call)
+        }
+        calls = sorted(
+            (n for n in _iter_own(unit) if isinstance(n, ast.Call)),
+            key=lambda n: (n.lineno, n.col_offset),
+        )
+        for call in calls:
+            if id(call) in comp_calls and self._touches_comm(call, frame):
+                # A comprehension's trip count is runtime data: the
+                # number of communication events it contributes cannot
+                # be counted statically.
+                raise _Imprecise(
+                    f"communication inside a comprehension at line "
+                    f"{call.lineno} cannot be counted statically",
+                    call.lineno,
+                )
+            self._call(call, frame, recv_binding.get(id(call)))
+        if isinstance(unit, ast.Assign):
+            for target in unit.targets:
+                self._assign(target, unit.value, frame)
+        elif isinstance(unit, ast.AnnAssign) and unit.value is not None:
+            self._assign(unit.target, unit.value, frame)
+        elif isinstance(unit, ast.AugAssign):
+            if isinstance(unit.target, ast.Name):
+                name = unit.target.id
+                frame.env.pop(name, None)
+                frame.types.pop(name, None)
+                if _rank_tainted(unit.value, frame.comm, frame.tainted):
+                    frame.tainted.add(name)
+
+    def _assign(self, target: ast.expr, value: ast.expr, frame: _Frame) -> None:
+        if not isinstance(target, ast.Name):
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    self._bind_target(elt, None, frame)
+            return
+        name = target.id
+        v = self.ev.eval(value, frame)
+        if v is None:
+            frame.env.pop(name, None)
+        else:
+            frame.env[name] = v
+        t = _infer_type(value, frame)
+        if t is None:
+            frame.types.pop(name, None)
+        else:
+            frame.types[name] = t
+        if _rank_tainted(value, frame.comm, frame.tainted):
+            frame.tainted.add(name)
+        else:
+            frame.tainted.discard(name)
+
+    # -- communication calls -------------------------------------------
+
+    @staticmethod
+    def _touches_comm(call: ast.Call, frame: _Frame) -> bool:
+        f = call.func
+        if (
+            isinstance(f, ast.Attribute)
+            and _is_comm_name(f.value, frame.comm)
+            and f.attr not in _NEUTRAL_COMM_METHODS
+        ):
+            return True
+        return any(_is_comm_name(a, frame.comm) for a in call.args) or any(
+            _is_comm_name(k.value, frame.comm) for k in call.keywords
+        )
+
+    def _call(self, call: ast.Call, frame: _Frame, bound_name: str | None) -> None:
+        f = call.func
+        if isinstance(f, ast.Attribute) and _is_comm_name(f.value, frame.comm):
+            self._comm_op(call, f.attr, frame, bound_name)
+            return
+        # Passing the communicator on: splice the callee's protocol.
+        passes_comm = any(_is_comm_name(a, frame.comm) for a in call.args) or any(
+            _is_comm_name(k.value, frame.comm) for k in call.keywords
+        )
+        if not passes_comm:
+            return
+        text = dotted_name(f)
+        callee = (
+            self.analysis.project.resolve_call(frame.info, text)
+            if text is not None
+            else None
+        )
+        if callee is None:
+            raise _Imprecise(
+                f"communicator escapes into unresolvable call "
+                f"`{text or '<dynamic>'}` at line {call.lineno}",
+                call.lineno,
+            )
+        self._run_function(callee)
+
+    def _arg(self, call: ast.Call, index: int, kwname: str) -> ast.expr | None:
+        if len(call.args) > index:
+            return call.args[index]
+        for kw in call.keywords:
+            if kw.arg == kwname:
+                return kw.value
+        return None
+
+    def _peer_value(self, expr: ast.expr | None, frame: _Frame, what, call) -> int:
+        if expr is None:
+            raise _Imprecise(
+                f"`{what}` missing at line {call.lineno}", call.lineno
+            )
+        v = self.ev.eval(expr, frame)
+        if v is None:
+            raise _Imprecise(
+                f"{what} expression at line {call.lineno} cannot be "
+                "evaluated statically",
+                call.lineno,
+            )
+        if not 0 <= v < self.size:
+            raise _Imprecise(
+                f"{what} {v} at line {call.lineno} leaves [0, {self.size}) "
+                "in the model cluster",
+                call.lineno,
+            )
+        return v
+
+    def _tag_value(self, call: ast.Call, index: int, frame: _Frame) -> int:
+        expr = self._arg(call, index, "tag")
+        if expr is None:
+            return 0
+        v = self.ev.eval(expr, frame)
+        if v is None:
+            raise _Imprecise(
+                f"tag expression at line {call.lineno} cannot be evaluated "
+                "statically",
+                call.lineno,
+            )
+        return v
+
+    def _emit(self, **kw) -> None:
+        info = kw.pop("info")
+        self.events.append(
+            CommEvent(
+                rank=self.rank,
+                path=info.path,
+                fq=info.fq,
+                via=self.chain[:-1],
+                **kw,
+            )
+        )
+
+    def _comm_op(
+        self, call: ast.Call, op: str, frame: _Frame, bound_name: str | None
+    ) -> None:
+        info = frame.info
+        if op in _SEND_OPS:
+            dest = self._peer_value(self._arg(call, 1, "dest"), frame, "dest", call)
+            tag = self._tag_value(call, 2, frame)
+            payload = _infer_type(call.args[0], frame) if call.args else None
+            self._emit(
+                kind="send", op=op, peer=dest, tag=tag,
+                lineno=call.lineno, payload=payload, info=info,
+            )
+        elif op in _RECV_OPS:
+            source = self._peer_value(
+                self._arg(call, 0, "source"), frame, "source", call
+            )
+            tag = self._tag_value(call, 1, frame)
+            uses = frozenset()
+            if bound_name is not None and op == "recv" and info.node is not None:
+                uses = _uses_after(info.node, bound_name, call.lineno)
+            self._emit(
+                kind="recv", op=op, peer=source, tag=tag,
+                lineno=call.lineno, uses=uses, info=info,
+            )
+        elif op == "sendrecv":
+            dest = self._peer_value(self._arg(call, 1, "dest"), frame, "dest", call)
+            source = self._peer_value(
+                self._arg(call, 2, "source"), frame, "source", call
+            )
+            tag = self._tag_value(call, 3, frame)
+            payload = _infer_type(call.args[0], frame) if call.args else None
+            uses = frozenset()
+            if bound_name is not None and info.node is not None:
+                uses = _uses_after(info.node, bound_name, call.lineno)
+            self._emit(
+                kind="send", op=op, peer=dest, tag=tag,
+                lineno=call.lineno, payload=payload, info=info,
+            )
+            self._emit(
+                kind="recv", op=op, peer=source, tag=tag,
+                lineno=call.lineno, uses=uses, info=info,
+            )
+        elif op in COLLECTIVE_METHODS:
+            root_pos = _ROOTED_COLLECTIVES.get(op)
+            root = 0
+            if root_pos is not None:
+                expr = self._arg(call, root_pos, "root")
+                if expr is not None:
+                    root = self._peer_value(expr, frame, "root", call)
+                peer = root
+            else:
+                peer = None
+            self._emit(
+                kind="coll", op=op, peer=peer, tag=0,
+                lineno=call.lineno, info=info,
+            )
+
+
+# -- protocol simulation -----------------------------------------------------
+
+
+def simulate(root: RootProtocol) -> SimOutcome:
+    """Run the per-rank protocols against eager-send/blocking-recv
+    semantics; the terminal state carries the diagnosis."""
+    size = root.size
+    events = root.ranks
+    pos = [0] * size
+    inflight: dict[tuple[int, int, int], deque[CommEvent]] = {}
+    matched: list[tuple[CommEvent, CommEvent]] = []
+
+    def step_rank(r: int) -> bool:
+        moved = False
+        while pos[r] < len(events[r]):
+            ev = events[r][pos[r]]
+            if ev.kind == "send":
+                inflight.setdefault((r, ev.peer, ev.tag), deque()).append(ev)
+                pos[r] += 1
+                moved = True
+            elif ev.kind == "recv":
+                q = inflight.get((ev.peer, r, ev.tag))
+                if not q:
+                    break
+                matched.append((q.popleft(), ev))
+                pos[r] += 1
+                moved = True
+            else:
+                break  # collective: needs everyone
+        return moved
+
+    while True:
+        progress = False
+        for r in range(size):
+            progress |= step_rank(r)
+        heads = [
+            events[r][pos[r]] if pos[r] < len(events[r]) else None
+            for r in range(size)
+        ]
+        if all(h is not None and h.kind == "coll" for h in heads):
+            sigs = {(h.op, h.peer) for h in heads}
+            if len(sigs) == 1:
+                for r in range(size):
+                    pos[r] += 1
+                progress = True
+        if not progress:
+            break
+
+    blocked = {
+        r: events[r][pos[r]] for r in range(size) if pos[r] < len(events[r])
+    }
+    unreceived: list[CommEvent] = []
+    cycles: list[list[int]] = []
+    unmatched_recvs: list[CommEvent] = []
+    divergence = any(ev.kind == "coll" for ev in blocked.values())
+
+    if not blocked:
+        for q in inflight.values():
+            unreceived.extend(q)
+    elif not divergence:
+        # Every blocked rank is parked at a recv.
+        def has_future_send(src: int, dst: int, tag: int) -> bool:
+            return any(
+                e.kind == "send" and e.peer == dst and e.tag == tag
+                for e in events[src][pos[src]:]
+            )
+
+        waits = {
+            r: ev.peer
+            for r, ev in blocked.items()
+            if ev.peer in blocked
+            and has_future_send(ev.peer, r, ev.tag)
+        }
+        seen_cycles: set[frozenset[int]] = set()
+        for start in sorted(waits):
+            path: list[int] = []
+            cur: int | None = start
+            on_path: set[int] = set()
+            while cur is not None and cur in waits and cur not in on_path:
+                path.append(cur)
+                on_path.add(cur)
+                cur = waits.get(cur)
+            if cur in on_path:
+                cycle = path[path.index(cur):]
+                key = frozenset(cycle)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append(cycle)
+        in_cycle = {r for c in cycles for r in c}
+        for r, ev in sorted(blocked.items()):
+            if r in in_cycle:
+                continue
+            if not has_future_send(ev.peer, r, ev.tag):
+                unmatched_recvs.append(ev)
+
+    return SimOutcome(
+        completed=pos,
+        matched=matched,
+        unreceived=unreceived,
+        blocked=blocked,
+        cycles=cycles,
+        unmatched_recvs=unmatched_recvs,
+        collective_divergence=divergence,
+    )
+
+
+# -- whole-program analysis --------------------------------------------------
+
+
+@dataclass
+class StaticDivergence:
+    """One statically-detected collective-divergence hazard (MPI006)."""
+
+    path: str
+    lineno: int
+    col: int
+    fq: str
+    message: str
+
+
+class ProtocolAnalysis:
+    """Protocols, simulations, and static hazards of one project."""
+
+    def __init__(self, project: ProjectContext, size: int | None = None) -> None:
+        t0 = time.perf_counter()
+        self.project = project
+        self._cfgs: dict[str, CFG] = {}
+        self.comm_functions = {
+            fq: info
+            for fq, info in project.functions.items()
+            if info.comm_param is not None and info.node is not None
+        }
+        self._comm_edges = self._build_comm_edges()
+        self.size = size if size is not None else self._model_size()
+        self.launch_sizes = self._launch_sizes()
+        self.roots: dict[str, RootProtocol] = {}
+        self.outcomes: dict[str, SimOutcome] = {}
+        for fq in sorted(self._root_fqs()):
+            proto = self._build_protocol(self.comm_functions[fq])
+            self.roots[fq] = proto
+            if proto.imprecise is None and any(proto.ranks):
+                self.outcomes[fq] = simulate(proto)
+        self.static_divergences = self._static_divergence_scan()
+        self.seconds = time.perf_counter() - t0
+
+    # -- structure -----------------------------------------------------
+
+    def cfg_for(self, info: FunctionInfo) -> CFG:
+        cfg = self._cfgs.get(info.fq)
+        if cfg is None:
+            cfg = self._cfgs[info.fq] = build_cfg(info.node)
+        return cfg
+
+    def _build_comm_edges(self) -> dict[str, list[tuple[str, int]]]:
+        """fq -> [(callee fq, call lineno)] for calls passing the comm."""
+        edges: dict[str, list[tuple[str, int]]] = {}
+        for fq, info in self.comm_functions.items():
+            out: list[tuple[str, int]] = []
+            comm = info.comm_param
+            for cs in info.calls:
+                passes = any(
+                    ref.kind == "name" and ref.text == comm for ref in cs.pos
+                ) or any(
+                    ref.kind == "name" and ref.text == comm
+                    for _, ref in cs.kw
+                )
+                if not passes:
+                    continue
+                callee = self.project.resolve_call(info, cs.callee)
+                if callee is not None and callee.fq in self.comm_functions:
+                    out.append((callee.fq, cs.lineno))
+            edges[fq] = out
+        return edges
+
+    def _root_fqs(self) -> list[str]:
+        called = {
+            callee for edges in self._comm_edges.values() for callee, _ in edges
+        }
+        return [fq for fq in self.comm_functions if fq not in called]
+
+    def _model_size(self) -> int:
+        """Small cluster size covering every literal rank in the tree."""
+        top = 0
+        for info in self.comm_functions.values():
+            comm = info.comm_param
+            for node in _iter_own(info.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and _is_comm_name(node.func.value, comm)
+                ):
+                    continue
+                for arg in (*node.args, *(k.value for k in node.keywords)):
+                    if isinstance(arg, ast.Constant) and type(arg.value) is int:
+                        if 0 <= arg.value < _MAX_MODEL_SIZE:
+                            top = max(top, arg.value)
+        return min(max(DEFAULT_MODEL_SIZE, top + 2), _MAX_MODEL_SIZE)
+
+    def _launch_sizes(self) -> dict[str, list[int]]:
+        """Explicit cluster sizes at launch sites, per rank function.
+
+        Test and example code launches SPMD functions at fixed world
+        sizes — ``SimCluster(2).run(fn)``, or through a local helper
+        whose first argument is the size.  A rank function written for
+        a two-rank exchange is *correct* at its launched size and must
+        be modelled there, not at the repo-wide default.
+        """
+        sizes: dict[str, list[int]] = {}
+
+        def literal_first_arg(call: ast.Call) -> int | None:
+            if call.args and isinstance(call.args[0], ast.Constant):
+                if type(call.args[0].value) is int:
+                    return call.args[0].value
+            return None
+
+        for info in self.project.functions.values():
+            if info.node is None:
+                continue
+            ctor: dict[str, int] = {}
+            runs: list[ast.Call] = []
+            for node in _iter_own(info.node):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    k = literal_first_arg(node.value)
+                    if k is not None:
+                        ctor[node.targets[0].id] = k
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "run"
+                    and node.args
+                ):
+                    runs.append(node)
+            for node in runs:
+                text = dotted_name(node.args[0])
+                if text is None:
+                    continue
+                callee = self.project.resolve_call(info, text)
+                if callee is None or callee.fq not in self.comm_functions:
+                    continue
+                recv = node.func.value
+                k: int | None = None
+                if isinstance(recv, ast.Call):
+                    k = literal_first_arg(recv)
+                elif isinstance(recv, ast.Name):
+                    k = ctor.get(recv.id)
+                if k is not None and 1 <= k <= 16:
+                    sizes.setdefault(callee.fq, []).append(k)
+        return sizes
+
+    def _size_for(self, fq: str) -> int:
+        launched = self.launch_sizes.get(fq)
+        # The largest launched size exercises every role the function
+        # was written for; size-generic drivers must hold at all of
+        # them, so simulating the maximum only removes false alarms
+        # about roles that never exist.
+        return max(launched) if launched else self.size
+
+    # -- protocol construction -----------------------------------------
+
+    def _build_protocol(self, info: FunctionInfo) -> RootProtocol:
+        size = self._size_for(info.fq)
+        proto = RootProtocol(
+            fq=info.fq, path=info.path, lineno=info.lineno, size=size
+        )
+        for rank in range(size):
+            executor = _RankExecutor(self, rank, size)
+            try:
+                proto.ranks.append(executor.run(info))
+            except _Imprecise as exc:
+                proto.ranks = []
+                proto.imprecise = exc.reason
+                break
+        return proto
+
+    def protocol_for(self, name: str) -> RootProtocol:
+        """Protocol of any comm function matched by (qualified) name."""
+        hits = [
+            info
+            for fq, info in sorted(self.comm_functions.items())
+            if fq == name or fq.endswith("." + name) or info.name == name
+        ]
+        if not hits:
+            known = ", ".join(sorted(self.comm_functions)) or "<none>"
+            raise KeyError(
+                f"no communicator-taking function matches {name!r} "
+                f"(known: {known})"
+            )
+        if len(hits) > 1:
+            raise KeyError(
+                f"{name!r} is ambiguous: "
+                + ", ".join(i.fq for i in hits)
+            )
+        info = hits[0]
+        existing = self.roots.get(info.fq)
+        if existing is not None:
+            return existing
+        return self._build_protocol(info)
+
+    # -- static collective-divergence scan (MPI006) --------------------
+
+    def _reaches_collective(self) -> dict[str, tuple[str, str, int, tuple[str, ...]]]:
+        """fq -> (op, path, lineno, chain) for the first collective a
+        comm function reaches, directly or through comm-passing calls."""
+        out: dict[str, tuple[str, str, int, tuple[str, ...]]] = {}
+        for fq, info in self.comm_functions.items():
+            comm = info.comm_param
+            for node in _iter_own(info.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and _is_comm_name(node.func.value, comm)
+                    and node.func.attr in COLLECTIVE_METHODS
+                ):
+                    out[fq] = (node.func.attr, info.path, node.lineno, ())
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for fq in self.comm_functions:
+                if fq in out:
+                    continue
+                for callee, _ in self._comm_edges.get(fq, ()):
+                    hit = out.get(callee)
+                    if hit is not None:
+                        op, path, lineno, chain = hit
+                        out[fq] = (op, path, lineno, (callee,) + chain)
+                        changed = True
+                        break
+        return out
+
+    def _function_taint(self, info: FunctionInfo) -> set[str]:
+        comm = info.comm_param
+        tainted: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in _iter_own(info.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not is_rank_dependent(node.value, comm, tainted):
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id not in tainted:
+                        tainted.add(target.id)
+                        changed = True
+        return tainted
+
+    def _static_divergence_scan(self) -> list[StaticDivergence]:
+        reaches = self._reaches_collective()
+        self.mpi001_sites: set[tuple[str, int]] = set()
+        findings: list[StaticDivergence] = []
+        for fq, info in sorted(self.comm_functions.items()):
+            comm = info.comm_param
+            tainted = self._function_taint(info)
+            self._scan_divergence(
+                info, comm, tainted, reaches, info.node, None, None, findings
+            )
+        return findings
+
+    def _scan_divergence(
+        self, info, comm, tainted, reaches, node, guard, loop, findings
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            g, l = guard, loop
+            if isinstance(child, (ast.If, ast.While)) and is_rank_dependent(
+                child.test, comm, tainted
+            ):
+                g = child
+            if isinstance(child, ast.For) and is_rank_dependent(
+                child.iter, comm, tainted
+            ):
+                l = child
+            if isinstance(child, ast.Call):
+                self._divergence_at_call(
+                    info, comm, reaches, child, g, l, findings
+                )
+            self._scan_divergence(
+                info, comm, tainted, reaches, child, g, l, findings
+            )
+
+    def _divergence_at_call(
+        self, info, comm, reaches, call, guard, loop, findings
+    ) -> None:
+        f = call.func
+        if (
+            isinstance(f, ast.Attribute)
+            and _is_comm_name(f.value, comm)
+            and f.attr in COLLECTIVE_METHODS
+        ):
+            # Direct collectives under rank-dependent If/While are
+            # MPI001's (per-file) finding; the whole-program rule adds
+            # the loop-trip-count case MPI001 cannot express.
+            if guard is not None:
+                self.mpi001_sites.add((info.path, call.lineno))
+            if loop is not None:
+                findings.append(
+                    StaticDivergence(
+                        path=info.path,
+                        lineno=call.lineno,
+                        col=call.col_offset,
+                        fq=info.fq,
+                        message=(
+                            f"collective `{comm}.{f.attr}` runs inside the "
+                            f"loop at line {loop.lineno} whose trip count "
+                            "derives from rank-local data; ranks disagree "
+                            "on how many collectives they enter and "
+                            "deadlock"
+                        ),
+                    )
+                )
+            return
+        passes = any(_is_comm_name(a, comm) for a in call.args) or any(
+            _is_comm_name(k.value, comm) for k in call.keywords
+        )
+        if not passes:
+            return
+        text = dotted_name(f)
+        callee = (
+            self.project.resolve_call(info, text) if text is not None else None
+        )
+        if callee is None:
+            return
+        hit = reaches.get(callee.fq)
+        if hit is None:
+            return
+        op, path, lineno, chain = hit
+        chain_text = " -> ".join(
+            self.comm_functions[c].name if c in self.comm_functions else c
+            for c in (callee.fq,) + chain
+        )
+        if guard is not None:
+            findings.append(
+                StaticDivergence(
+                    path=info.path,
+                    lineno=call.lineno,
+                    col=call.col_offset,
+                    fq=info.fq,
+                    message=(
+                        f"call `{callee.name}({comm})` under the "
+                        f"rank-dependent condition at line {guard.lineno} "
+                        f"reaches collective `{op}` at {path}:{lineno} "
+                        f"(via {chain_text}); ranks that skip the branch "
+                        "never enter the matching exchange and deadlock"
+                    ),
+                )
+            )
+        elif loop is not None:
+            findings.append(
+                StaticDivergence(
+                    path=info.path,
+                    lineno=call.lineno,
+                    col=call.col_offset,
+                    fq=info.fq,
+                    message=(
+                        f"call `{callee.name}({comm})` inside the loop at "
+                        f"line {loop.lineno} over rank-local data reaches "
+                        f"collective `{op}` at {path}:{lineno} "
+                        f"(via {chain_text}); ranks disagree on the "
+                        "collective count and deadlock"
+                    ),
+                )
+            )
+
+    # -- reachability helper for rule-level dedup ----------------------
+
+    def reach_of_root(self, fq: str) -> set[str]:
+        """Comm functions a root splices, including the root itself."""
+        seen = {fq}
+        stack = [fq]
+        while stack:
+            cur = stack.pop()
+            for callee, _ in self._comm_edges.get(cur, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+
+def analyze_protocols(project: ProjectContext) -> ProtocolAnalysis:
+    """The memoized protocol analysis of one ProjectContext."""
+    cached = getattr(project, "_protocol_analysis", None)
+    if cached is None:
+        cached = ProtocolAnalysis(project)
+        project._protocol_analysis = cached
+    return cached
+
+
+# -- report formatting -------------------------------------------------------
+
+
+def format_protocol(proto: RootProtocol, fmt: str = "text") -> str:
+    """Human/JSON rendering of one driver's per-role protocol."""
+    if fmt == "json":
+        import json
+
+        payload = {
+            "function": proto.fq,
+            "path": proto.path,
+            "line": proto.lineno,
+            "model_size": proto.size,
+            "imprecise": proto.imprecise,
+            "roles": [
+                {
+                    "ranks": ranks,
+                    "events": [
+                        {
+                            "kind": e.kind,
+                            "op": e.op,
+                            "peer": e.peer,
+                            "tag": e.tag,
+                            "site": e.site(),
+                            "payload": e.payload,
+                        }
+                        for e in events
+                    ],
+                }
+                for ranks, events in (
+                    proto.role_groups() if proto.imprecise is None else []
+                )
+            ],
+        }
+        return json.dumps(payload, indent=2)
+    lines = [
+        f"protocol: {proto.fq} (model size {proto.size}) "
+        f"at {proto.path}:{proto.lineno}"
+    ]
+    if proto.imprecise is not None:
+        lines.append(f"  imprecise: {proto.imprecise}")
+        return "\n".join(lines)
+    for ranks, events in proto.role_groups():
+        label = (
+            f"rank {ranks[0]}"
+            if len(ranks) == 1
+            else "ranks " + ",".join(str(r) for r in ranks)
+        )
+        lines.append(f"  {label}:")
+        if not events:
+            lines.append("    (no communication)")
+        for i, e in enumerate(events, 1):
+            lines.append(f"    {i}. {e.describe()} at {e.site()}")
+    return "\n".join(lines)

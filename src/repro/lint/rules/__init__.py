@@ -5,6 +5,7 @@ from repro.lint.rules import (  # noqa: F401 (registration side effect)
     determinism,
     mpi,
     perf,
+    protocol,
     purity,
     robustness,
 )

@@ -27,11 +27,17 @@ from repro.lint.context import (
 )
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import Rule, register
+from repro.mpi.simcomm import COLLECTIVE_TAG_BASE, COLLECTIVE_TAG_SPAN
 
 __all__ = ["CollectiveSymmetry", "ReservedTag", "MutateAfterSend"]
 
-#: most negative tag user code may pass explicitly.
-RESERVED_TAG_CEILING = -1000
+#: boundary of the tag space the simulated runtime reserves for its
+#: internal collective traffic — shared with the runtime itself so the
+#: rule can never drift from what :class:`~repro.mpi.SimComm` claims
+#: (bcast at the base down through ``base - (span - 1)`` for the
+#: deepest alltoall leg).
+RESERVED_TAG_CEILING = COLLECTIVE_TAG_BASE
+RESERVED_TAG_FLOOR = COLLECTIVE_TAG_BASE - (COLLECTIVE_TAG_SPAN - 1)
 
 #: kept as a module alias for the shared in-place mutator set.
 _MUTATING_METHODS = MUTATING_METHODS
@@ -121,12 +127,16 @@ class ReservedTag(Rule):
                 continue
             value = literal_int(tag_expr)
             if value is not None and value <= RESERVED_TAG_CEILING:
+                window = (
+                    f"[{RESERVED_TAG_FLOOR}, {RESERVED_TAG_CEILING}]"
+                )
                 yield self.finding(
                     ctx,
                     tag_expr,
-                    f"tag {value} lies in the runtime's reserved collective tag "
-                    f"space (<= {RESERVED_TAG_CEILING}); user traffic there can "
-                    "interleave with internal collective messages",
+                    f"tag {value} lies at or below the runtime's reserved "
+                    f"collective tag space (window {window}, everything "
+                    f"<= {RESERVED_TAG_CEILING} is off-limits); user traffic "
+                    "there can interleave with internal collective messages",
                 )
 
 

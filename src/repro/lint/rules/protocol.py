@@ -1,0 +1,223 @@
+"""Protocol rules MPI004–MPI007: whole-program send/recv matching.
+
+These rules consume the flow-sensitive protocol analysis
+(:mod:`repro.lint.protocol`): each root SPMD driver is abstract-
+interpreted into per-rank ordered communication events at a small
+model-cluster size, simulated under eager-send/blocking-recv
+semantics, and the terminal state is classified.
+
+- **MPI004** unmatched point-to-point: a send nobody receives, or a
+  recv whose matching send never materializes in the peer's protocol.
+- **MPI005** cyclic-wait deadlock: roles blocked on each other's
+  receives while every needed send sits *later* in the peer's
+  protocol — the witness names both roles' blocking events.
+- **MPI006** collective divergence: the whole-program generalization
+  of MPI001 — a rank-guarded call chain that reaches a collective, a
+  collective inside a loop whose trip count derives from rank-local
+  data, or a simulation that parks ranks at mismatched collectives.
+- **MPI007** payload-contract mismatch: a matched send/recv pair where
+  the sent object's inferred type cannot support the receiver's
+  downstream use (``.append`` on a dict payload, iteration over None).
+
+Imprecise drivers (branches on runtime data that communicate on both
+sides, peers the evaluator cannot resolve) produce *no* findings —
+the analysis is optimistic and the runtime sanitizer remains the
+dynamic backstop for what it cannot model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.project import ProjectContext
+from repro.lint.protocol import (
+    _USE_SUPPORTED,
+    CommEvent,
+    analyze_protocols,
+)
+from repro.lint.registry import ProjectRule, register
+
+__all__ = [
+    "UnmatchedPointToPoint",
+    "CyclicWaitDeadlock",
+    "CollectiveDivergence",
+    "PayloadContractMismatch",
+]
+
+
+def _ranks_text(ranks: list[int]) -> str:
+    if len(ranks) == 1:
+        return f"rank {ranks[0]}"
+    return "ranks " + ",".join(str(r) for r in sorted(ranks))
+
+
+def _via_text(ev: CommEvent) -> str:
+    if not ev.via:
+        return ""
+    chain = " -> ".join(fq.rsplit(".", 1)[-1] for fq in ev.via)
+    return f" (reached via {chain})"
+
+
+def _short(fq: str) -> str:
+    return fq.rsplit(".", 1)[-1]
+
+
+@register
+class UnmatchedPointToPoint(ProjectRule):
+    id = "MPI004"
+    severity = Severity.ERROR
+    summary = "point-to-point send/recv with no matching counterpart in the peer's protocol"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = analyze_protocols(project)
+        for fq in sorted(analysis.outcomes):
+            out = analysis.outcomes[fq]
+            sites: dict[tuple[str, int, str], list[CommEvent]] = {}
+            for ev in out.unreceived:
+                sites.setdefault((ev.path, ev.lineno, "send"), []).append(ev)
+            for ev in out.unmatched_recvs:
+                sites.setdefault((ev.path, ev.lineno, "recv"), []).append(ev)
+            for (path, lineno, kind), events in sorted(sites.items()):
+                ranks = sorted({e.rank for e in events})
+                ev = events[0]
+                if kind == "send":
+                    msg = (
+                        f"`{ev.describe()}` by {_ranks_text(ranks)} in driver "
+                        f"`{_short(fq)}` is never received: the destination "
+                        "finishes its protocol with the message still in "
+                        f"flight{_via_text(ev)}; every eager send needs a "
+                        "matching recv on the same (source, tag)"
+                    )
+                else:
+                    msg = (
+                        f"`{ev.describe()}` blocks {_ranks_text(ranks)} in "
+                        f"driver `{_short(fq)}` forever: no send with a "
+                        "matching (dest, tag) exists anywhere in the source "
+                        f"rank's protocol{_via_text(ev)}"
+                    )
+                yield self.finding_at(path, lineno, 0, msg)
+
+
+@register
+class CyclicWaitDeadlock(ProjectRule):
+    id = "MPI005"
+    severity = Severity.ERROR
+    summary = "cyclic wait: roles recv from each other before their matching sends"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = analyze_protocols(project)
+        for fq in sorted(analysis.outcomes):
+            out = analysis.outcomes[fq]
+            for cycle in out.cycles:
+                anchor_rank = min(cycle)
+                anchor = out.blocked[anchor_rank]
+                legs = []
+                for r in sorted(cycle):
+                    ev = out.blocked[r]
+                    legs.append(
+                        f"rank {r} blocks at `{ev.describe()}` "
+                        f"({ev.site()}){_via_text(ev)}"
+                    )
+                msg = (
+                    f"cyclic wait among {_ranks_text(sorted(cycle))} in "
+                    f"driver `{_short(fq)}`: " + "; ".join(legs) + " — each "
+                    "side's matching send happens only after its own recv, "
+                    "so no rank can progress (swap one side's send/recv "
+                    "order or use `sendrecv`)"
+                )
+                yield self.finding_at(anchor.path, anchor.lineno, 0, msg)
+
+
+@register
+class CollectiveDivergence(ProjectRule):
+    id = "MPI006"
+    severity = Severity.ERROR
+    summary = "ranks disagree on collective count/order (whole-program MPI001)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = analyze_protocols(project)
+        for d in analysis.static_divergences:
+            yield self.finding_at(d.path, d.lineno, d.col, d.message)
+        static_fqs = {d.fq for d in analysis.static_divergences}
+        for fq in sorted(analysis.outcomes):
+            out = analysis.outcomes[fq]
+            if not out.collective_divergence:
+                continue
+            # The static pass (or per-file MPI001) already explains
+            # divergences rooted in this driver's call tree; the
+            # simulated witness would only restate them.
+            if static_fqs & analysis.reach_of_root(fq):
+                continue
+            coll_events = [
+                ev for ev in out.blocked.values() if ev.kind == "coll"
+            ]
+            if any(
+                (ev.path, ev.lineno) in analysis.mpi001_sites
+                for ev in coll_events
+            ):
+                continue
+            states: dict[str, list[int]] = {}
+            size = analysis.roots[fq].size
+            for r in range(size):
+                ev = out.blocked.get(r)
+                key = (
+                    f"blocks at `{ev.describe()}` ({ev.site()})"
+                    if ev is not None
+                    else "finishes without entering it"
+                )
+                states.setdefault(key, []).append(r)
+            detail = "; ".join(
+                f"{_ranks_text(ranks)} {key}" for key, ranks in states.items()
+            )
+            anchor = min(coll_events, key=lambda e: (e.path, e.lineno))
+            msg = (
+                f"collective divergence in driver `{_short(fq)}`: {detail} — "
+                "every rank of the communicator must enter the same "
+                "collective in the same order"
+            )
+            yield self.finding_at(anchor.path, anchor.lineno, 0, msg)
+
+
+@register
+class PayloadContractMismatch(ProjectRule):
+    id = "MPI007"
+    severity = Severity.WARNING
+    summary = "sent payload type cannot support the receiver's downstream use"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        analysis = analyze_protocols(project)
+        seen: set[tuple[str, int, str, str, int]] = set()
+        for fq in sorted(analysis.outcomes):
+            out = analysis.outcomes[fq]
+            for send_ev, recv_ev in out.matched:
+                if send_ev.payload is None:
+                    continue
+                for use in sorted(recv_ev.uses):
+                    supported = _USE_SUPPORTED.get(use)
+                    if supported is None or send_ev.payload in supported:
+                        continue
+                    key = (
+                        recv_ev.path, recv_ev.lineno, use,
+                        send_ev.path, send_ev.lineno,
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    nice_use = {
+                        "__getitem__": "subscripting",
+                        "__setitem__": "item assignment",
+                        "__iter__": "iteration",
+                        "__len__": "len()",
+                    }.get(use, f"`.{use}()`")
+                    yield self.finding_at(
+                        recv_ev.path,
+                        recv_ev.lineno,
+                        0,
+                        f"received payload is used via {nice_use}, but the "
+                        f"matching `{send_ev.describe()}` at "
+                        f"{send_ev.site()} ships a {send_ev.payload} — "
+                        "the receiver's contract "
+                        f"({'/'.join(sorted(supported))}) does not match "
+                        "what the sender produces",
+                    )

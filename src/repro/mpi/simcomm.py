@@ -35,10 +35,23 @@ __all__ = [
     "DeadlockError",
     "PayloadMutationError",
     "MessageLeakError",
+    "COLLECTIVE_TAG_BASE",
+    "COLLECTIVE_TAG_SPAN",
 ]
 
-#: tag space reserved for internal collective traffic.
-_COLLECTIVE_TAG_BASE = -1000
+#: tag space reserved for internal collective traffic.  Each collective
+#: claims a distinct offset below the base so concurrent collectives on
+#: the same channel never cross-match: bcast 0, gather 1, scatter 2,
+#: allgather 3/4 (gather+bcast legs), reduce 5, allreduce 6/7
+#: (reduce+bcast legs), alltoall 8.  The MPI002 lint rule derives its
+#: reserved window from these two constants — extend the span here
+#: when a new collective claims a deeper offset.
+COLLECTIVE_TAG_BASE = -1000
+#: number of distinct internal tags below (and including) the base.
+COLLECTIVE_TAG_SPAN = 9
+
+#: backwards-compatible private alias (pre-dates the public constants).
+_COLLECTIVE_TAG_BASE = COLLECTIVE_TAG_BASE
 
 
 class DeadlockError(RuntimeError):

@@ -1,0 +1,1 @@
+"""Payload-contract corpus for MPI007."""

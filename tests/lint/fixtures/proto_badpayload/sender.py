@@ -1,0 +1,17 @@
+"""True-positive corpus: receiver uses the payload as the wrong type.
+
+Rank 0 sends a dict; rank 1 calls ``.append`` on it, which only a
+list supports.  The ``noqa`` keeps the strict gate green; corpus
+tests call the rule directly.
+"""
+
+
+def ship_flags(comm):
+    if comm.rank == 0:
+        comm.send({"trim": True}, dest=1)
+        return None
+    if comm.rank == 1:
+        flags = comm.recv(source=0)  # noqa: MPI007 - deliberate contract-break fixture
+        flags.append("done")
+        return flags
+    return None

@@ -1,0 +1,1 @@
+"""True-negative corpus: a well-formed protocol none of MPI004-007 flags."""

@@ -1,0 +1,10 @@
+"""Symmetric collective helper every rank calls together."""
+
+
+def reduce_step(comm, value):
+    total = comm.gather(value, root=0)
+    if comm.rank == 0:
+        merged = sum(total)
+    else:
+        merged = None
+    return comm.bcast(merged, root=0)

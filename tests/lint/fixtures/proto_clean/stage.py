@@ -1,0 +1,17 @@
+"""True-negative corpus: matched ring exchange plus symmetric collectives.
+
+The sendrecv pairs every rank's send with its neighbour's recv, the
+payload is used consistently as a dict on both ends, and the
+collective helper is entered by all ranks — nothing here should trip
+MPI004, MPI005, MPI006 or MPI007.
+"""
+
+from proto_clean.helpers import reduce_step
+
+
+def clean_driver(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    token = comm.sendrecv({"origin": comm.rank}, dest=right, source=left)
+    token.update({"hops": 1})
+    return reduce_step(comm, len(token))

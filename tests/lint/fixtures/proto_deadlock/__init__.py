@@ -1,0 +1,1 @@
+"""Deliberately-deadlocking protocol corpus for MPI005 (cyclic wait)."""

@@ -1,0 +1,30 @@
+"""True-positive corpus: every role receives before it sends.
+
+Both functions deadlock under the simulated runtime; the static
+protocol verifier must flag them with a witness that names each
+role's blocking event.  The ``noqa`` markers keep the repository's
+self-clean gate green — the corpus tests exercise the rules directly,
+bypassing suppression.
+"""
+
+
+def pairwise_swap(comm):
+    """Ranks 0 and 1 both post their recv first: classic head-to-head."""
+    if comm.rank == 0:
+        got = comm.recv(source=1)  # noqa: MPI005 - deliberate cyclic-wait fixture
+        comm.send("from-zero", dest=1)
+    elif comm.rank == 1:
+        got = comm.recv(source=0)  # noqa: MPI005 - deliberate cyclic-wait fixture
+        comm.send("from-one", dest=0)
+    else:
+        got = None
+    return got
+
+
+def ring_exchange(comm):
+    """All ranks recv from the left before sending right: full-ring cycle."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    incoming = comm.recv(source=left)  # noqa: MPI005 - deliberate cyclic-wait fixture
+    comm.send(incoming, dest=right)
+    return incoming

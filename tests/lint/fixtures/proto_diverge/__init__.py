@@ -1,0 +1,1 @@
+"""Collective-divergence corpus for MPI006 (cross-file witness chain)."""

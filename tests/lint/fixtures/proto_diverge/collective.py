@@ -1,0 +1,6 @@
+"""Helper module: the collective the skewed driver only partially reaches."""
+
+
+def sync_lengths(comm, counts):
+    """Every rank must call this together — it runs an allgather."""
+    return comm.allgather(len(counts))

@@ -1,0 +1,26 @@
+"""True-positive corpus: only some ranks reach a collective.
+
+``skewed_driver`` calls a helper in *another module* that runs an
+allgather, but only on rank 0 — the MPI006 witness chain must cross
+the file boundary.  ``per_item_reduce`` iterates a rank-dependent
+number of times around a reduce.  The ``noqa`` markers keep the
+tree-wide strict gate green; corpus tests bypass suppression.
+"""
+
+from proto_diverge.collective import sync_lengths
+
+
+def skewed_driver(comm, items):
+    if comm.rank == 0:
+        sizes = sync_lengths(comm, items)  # noqa: MPI006 - deliberate divergence fixture
+    else:
+        sizes = None
+    return sizes
+
+
+def per_item_reduce(comm, items):
+    mine = items[comm.rank]
+    totals = []
+    for chunk in mine:
+        totals.append(comm.reduce(len(chunk), root=0))  # noqa: MPI006 - deliberate divergence fixture
+    return totals

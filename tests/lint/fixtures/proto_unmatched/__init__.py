@@ -1,0 +1,1 @@
+"""Unmatched point-to-point corpus for MPI004."""

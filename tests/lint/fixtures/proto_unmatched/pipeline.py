@@ -1,0 +1,19 @@
+"""True-positive corpus: sends nobody receives, recvs nobody feeds.
+
+The ``noqa`` markers keep the tree-wide strict gate green; the corpus
+tests call the rules directly so suppression does not apply there.
+"""
+
+
+def orphan_send(comm):
+    """Rank 0 ships a message rank 1 never collects."""
+    if comm.rank == 0:
+        comm.send([1, 2, 3], dest=1, tag=3)  # noqa: MPI004 - deliberate orphan-send fixture
+    return comm.rank
+
+
+def starved_recv(comm):
+    """Rank 1 waits for a message no rank ever sends."""
+    if comm.rank == 1:
+        return comm.recv(source=0, tag=9)  # noqa: MPI004 - deliberate starved-recv fixture
+    return None

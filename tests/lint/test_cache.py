@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lint import DEFAULT_CACHE, LintCache, analyze_paths
+from repro.lint import DEFAULT_CACHE, SUMMARY_VERSION, LintCache, analyze_paths
 
 
 def _tree(tmp_path, n=3):
@@ -35,6 +35,38 @@ class TestFileEntry:
         # the fixed file parses fresh, not from a poisoned entry
         entry = cache.file_entry("a.py", "def fixed():\n    pass\n")
         assert "fixed" in entry.summary.functions
+
+
+class TestSummaryVersioning:
+    """Cached entries must not survive a summary-shape change.
+
+    ``FileSummary``/``FunctionInfo`` grow new fields over time (the
+    protocol pass added ``comm_param`` and ``node``); a cache keyed on
+    source bytes alone would keep serving summaries built by older
+    code.  ``SUMMARY_VERSION`` is folded into the digest so bumping it
+    invalidates every entry.
+    """
+
+    def test_version_token_is_part_of_the_digest(self, monkeypatch):
+        src = "x = 1\n"
+        before = LintCache.digest_of(src)
+        monkeypatch.setattr(
+            "repro.lint.cache.SUMMARY_VERSION", SUMMARY_VERSION + 1
+        )
+        assert LintCache.digest_of(src) != before
+
+    def test_version_bump_forces_reparse(self, monkeypatch):
+        cache = LintCache()
+        src = "def f(x):\n    return x\n"
+        cache.file_entry("a.py", src)
+        cache.file_entry("a.py", src)
+        assert (cache.parses, cache.hits) == (1, 1)
+
+        monkeypatch.setattr(
+            "repro.lint.cache.SUMMARY_VERSION", SUMMARY_VERSION + 1
+        )
+        cache.file_entry("a.py", src)
+        assert cache.parses == 2  # stale summary was not reused
 
 
 class TestIncrementalRuns:

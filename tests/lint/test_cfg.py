@@ -1,0 +1,237 @@
+"""CFG builder unit tests: the lowering the protocol interpreter walks."""
+
+import ast
+import textwrap
+
+from repro.lint import build_cfg
+
+
+def _cfg(src):
+    tree = ast.parse(textwrap.dedent(src))
+    (func,) = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    return build_cfg(func)
+
+
+def _reachable(cfg):
+    seen, todo = set(), [cfg.entry]
+    while todo:
+        idx = todo.pop()
+        if idx in seen:
+            continue
+        seen.add(idx)
+        b = cfg.block(idx)
+        if b.branch is not None:
+            todo += [b.branch.true, b.branch.false]
+        if b.loop is not None:
+            todo += [b.loop.body, b.loop.exit]
+        if b.succ is not None:
+            todo.append(b.succ)
+    return seen
+
+
+class TestStraightLine:
+    def test_single_block_to_exit(self):
+        cfg = _cfg(
+            """
+            def fn(x):
+                y = x + 1
+                return y
+            """
+        )
+        entry = cfg.block(cfg.entry)
+        assert [type(u).__name__ for u in entry.units] == ["Assign", "Return"]
+        assert entry.terminal
+        assert entry.succ == cfg.exit
+        assert cfg.block(cfg.exit).units == []
+
+    def test_name_comes_from_function(self):
+        assert _cfg("def fn(x):\n    return x\n").name == "fn"
+
+
+class TestBranches:
+    def test_if_produces_two_armed_branch_and_join(self):
+        cfg = _cfg(
+            """
+            def fn(x):
+                if x > 0:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        entry = cfg.block(cfg.entry)
+        assert entry.branch is not None
+        true_b = cfg.block(entry.branch.true)
+        false_b = cfg.block(entry.branch.false)
+        assert true_b.succ == false_b.succ  # both arms meet at the join
+        join = cfg.block(true_b.succ)
+        assert join.terminal and join.succ == cfg.exit
+
+    def test_if_without_else_falls_to_join(self):
+        cfg = _cfg(
+            """
+            def fn(x):
+                if x:
+                    x += 1
+                return x
+            """
+        )
+        entry = cfg.block(cfg.entry)
+        join = cfg.block(entry.branch.false)  # false edge goes straight on
+        assert cfg.block(entry.branch.true).succ == join.idx
+
+    def test_return_in_arm_terminates_that_path(self):
+        cfg = _cfg(
+            """
+            def fn(x):
+                if x:
+                    return 1
+                return 2
+            """
+        )
+        entry = cfg.block(cfg.entry)
+        true_b = cfg.block(entry.branch.true)
+        assert true_b.terminal and true_b.succ == cfg.exit
+        false_b = cfg.block(entry.branch.false)
+        assert false_b.terminal
+
+    def test_dead_tail_after_return_is_dropped(self):
+        cfg = _cfg(
+            """
+            def fn(x):
+                return x
+                x = "unreachable"
+            """
+        )
+        units = [u for i in _reachable(cfg) for u in cfg.block(i).units]
+        assert all(not isinstance(u, ast.Assign) for u in units)
+
+
+class TestLoops:
+    def test_for_header_and_back_edge(self):
+        cfg = _cfg(
+            """
+            def fn(xs):
+                total = 0
+                for x in xs:
+                    total += x
+                return total
+            """
+        )
+        headers = [b for b in cfg.blocks if b.loop is not None]
+        assert len(headers) == 1
+        (header,) = headers
+        assert header.loop.kind == "for"
+        body = cfg.block(header.loop.body)
+        assert body.succ == header.idx  # back edge
+        after = cfg.block(header.loop.exit)
+        assert after.terminal
+
+    def test_while_keeps_test_expression(self):
+        cfg = _cfg(
+            """
+            def fn(n):
+                while n > 0:
+                    n -= 1
+                return n
+            """
+        )
+        (header,) = [b for b in cfg.blocks if b.loop is not None]
+        assert header.loop.kind == "while"
+        assert isinstance(header.loop.test, ast.Compare)
+
+    def test_break_targets_loop_exit(self):
+        cfg = _cfg(
+            """
+            def fn(xs):
+                for x in xs:
+                    if x:
+                        break
+                return xs
+            """
+        )
+        (header,) = [b for b in cfg.blocks if b.loop is not None]
+        body = cfg.block(header.loop.body)
+        # the true arm of the inner if jumps straight to the loop exit
+        assert cfg.block(body.branch.true).succ == header.loop.exit
+
+    def test_continue_targets_loop_header(self):
+        cfg = _cfg(
+            """
+            def fn(xs):
+                for x in xs:
+                    if x:
+                        continue
+                    xs.pop()
+            """
+        )
+        (header,) = [b for b in cfg.blocks if b.loop is not None]
+        body = cfg.block(header.loop.body)
+        assert cfg.block(body.branch.true).succ == header.idx
+
+    def test_loop_else_spliced_on_exit_path(self):
+        cfg = _cfg(
+            """
+            def fn(xs):
+                for x in xs:
+                    x += 1
+                else:
+                    xs = []
+                return xs
+            """
+        )
+        (header,) = [b for b in cfg.blocks if b.loop is not None]
+        else_block = cfg.block(header.loop.exit)
+        assert any(isinstance(u, ast.Assign) for u in else_block.units)
+        assert cfg.block(else_block.succ).terminal
+
+
+class TestWithAndTry:
+    def test_with_body_stays_on_fallthrough(self):
+        cfg = _cfg(
+            """
+            def fn(comm):
+                with comm.timed():
+                    comm.barrier()
+                return 1
+            """
+        )
+        entry = cfg.block(cfg.entry)
+        kinds = [type(u).__name__ for u in entry.units]
+        # context expr, body statement and the trailing return all
+        # share the straight-line path
+        assert kinds == ["Call", "Expr", "Return"]
+
+    def test_try_handlers_are_alt_succs_only(self):
+        cfg = _cfg(
+            """
+            def fn(x):
+                try:
+                    x += 1
+                except ValueError:
+                    x = 0
+                return x
+            """
+        )
+        entry = cfg.block(cfg.entry)
+        assert len(entry.alt_succs) == 1
+        handler = cfg.block(entry.alt_succs[0])
+        assert handler.terminal
+        # the handler is not on any fall-through/branch/loop edge
+        assert handler.idx not in _reachable(cfg)
+
+    def test_finally_joins_main_path(self):
+        cfg = _cfg(
+            """
+            def fn(x):
+                try:
+                    x += 1
+                finally:
+                    x += 2
+                return x
+            """
+        )
+        entry = cfg.block(cfg.entry)
+        assert len(entry.units) == 3  # body, finally, return share the path
+        assert entry.terminal

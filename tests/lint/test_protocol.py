@@ -1,0 +1,338 @@
+"""Protocol extraction, simulation, and reporting unit tests.
+
+These target the abstract interpreter directly: what events each rank
+produces, how calls splice through the call graph, when the analysis
+declares itself imprecise, and what the simulator concludes.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    analyze_protocols,
+    build_project,
+    format_protocol,
+)
+from repro.lint.protocol import simulate
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _analysis(tmp_path, **modules):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for mod, src in modules.items():
+        (pkg / f"{mod}.py").write_text(textwrap.dedent(src))
+    return analyze_protocols(build_project([pkg]))
+
+
+class TestEventExtraction:
+    def test_sendrecv_emits_both_kinds(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def ring(comm):
+                right = (comm.rank + 1) % comm.size
+                left = (comm.rank - 1) % comm.size
+                return comm.sendrecv(comm.rank, dest=right, source=left)
+            """,
+        )
+        proto = ana.protocol_for("ring")
+        assert proto.imprecise is None
+        for rank, events in enumerate(proto.ranks):
+            assert [e.kind for e in events] == ["send", "recv"]
+            assert all(e.op == "sendrecv" for e in events)
+            send, recv = events
+            assert send.peer == (rank + 1) % proto.size
+            assert recv.peer == (rank - 1) % proto.size
+
+    def test_helper_events_attributed_via_call_graph(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            helpers="""
+            def push(comm, value):
+                comm.send(value, dest=1)
+            """,
+            driver="""
+            from pkg.helpers import push
+
+            def top(comm):
+                if comm.rank == 0:
+                    push(comm, "x")
+                elif comm.rank == 1:
+                    comm.recv(source=0)
+            """,
+        )
+        proto = ana.protocol_for("top")
+        assert proto.imprecise is None
+        (send,) = proto.ranks[0]
+        assert send.kind == "send" and send.peer == 1
+        # the event belongs to the helper but carries the caller chain
+        assert send.fq.endswith("push")
+        assert send.via == ("pkg.driver.top",)
+        # helpers called with the comm are not roots of their own
+        assert not any(fq.endswith("push") for fq in ana.roots)
+
+    def test_loop_over_range_comm_size(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fanout(comm):
+                if comm.rank == 0:
+                    for dest in range(1, comm.size):
+                        comm.send(dest * 10, dest=dest)
+                else:
+                    return comm.recv(source=0)
+            """,
+        )
+        proto = ana.protocol_for("fanout")
+        assert proto.imprecise is None
+        sends = proto.ranks[0]
+        assert [e.peer for e in sends] == list(range(1, proto.size))
+        out = simulate(proto)
+        assert not out.deadlocked
+        assert not out.unreceived
+
+    def test_rank_arithmetic_is_folded(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def pair(comm):
+                partner = comm.rank + 1 - 2 * (comm.rank % 2)
+                if comm.rank % 2 == 0:
+                    comm.send("even", dest=partner)
+                else:
+                    comm.recv(source=partner)
+            """,
+        )
+        proto = ana.protocol_for("pair")
+        assert proto.imprecise is None
+        assert proto.ranks[0][0].peer == 1
+        assert proto.ranks[1][0].peer == 0
+        assert not simulate(proto).deadlocked
+
+
+class TestImprecision:
+    def test_data_dependent_branch_with_comm(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fn(comm, flag):
+                if flag:
+                    comm.send("x", dest=0)
+            """,
+        )
+        proto = ana.protocol_for("fn")
+        assert proto.imprecise is not None
+        assert proto.ranks == []
+
+    def test_comm_in_comprehension(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fn(comm):
+                return [comm.recv(source=0) for _ in range(3)]
+            """,
+        )
+        proto = ana.protocol_for("fn")
+        assert proto.imprecise is not None
+        assert "comprehension" in proto.imprecise
+
+    def test_imprecise_drivers_produce_no_findings(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fn(comm, flag):
+                if flag:
+                    comm.recv(source=0)
+            """,
+        )
+        fq = next(iter(ana.roots))
+        assert ana.roots[fq].imprecise is not None
+        assert fq not in ana.outcomes
+
+    def test_comm_free_data_branch_is_fine(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fn(comm, flag):
+                label = "on" if flag else "off"
+                if flag:
+                    label += "!"
+                return comm.allgather(label)
+            """,
+        )
+        proto = ana.protocol_for("fn")
+        assert proto.imprecise is None
+        assert all(e.op == "allgather" for events in proto.ranks for e in events)
+
+
+class TestLaunchSizes:
+    def test_cluster_literal_sets_model_size(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            from repro.mpi.cluster import SimCluster
+
+            def two_rank(comm):
+                if comm.rank == 0:
+                    comm.send("x", dest=1)
+                elif comm.rank == 1:
+                    comm.recv(source=0)
+
+            def launch():
+                return SimCluster(2).run(two_rank)
+            """,
+        )
+        proto = ana.protocol_for("two_rank")
+        assert proto.size == 2
+        out = simulate(proto)
+        assert not out.deadlocked and not out.unreceived
+
+    def test_unlaunched_driver_uses_default_size(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fn(comm):
+                return comm.allgather(comm.rank)
+            """,
+        )
+        assert ana.protocol_for("fn").size == ana.size >= 2
+
+
+class TestSimulation:
+    def test_deadlock_corpus_blocks_in_cycle(self):
+        ana = analyze_protocols(build_project([FIXTURES / "proto_deadlock"]))
+        (fq,) = [f for f in ana.roots if f.endswith("pairwise_swap")]
+        out = ana.outcomes[fq]
+        assert out.deadlocked
+        assert out.cycles == [[0, 1]]
+        assert set(out.blocked) == {0, 1}
+        assert all(e.kind == "recv" for e in out.blocked.values())
+
+    def test_clean_corpus_completes(self):
+        ana = analyze_protocols(build_project([FIXTURES / "proto_clean"]))
+        (fq,) = [f for f in ana.roots if f.endswith("clean_driver")]
+        out = ana.outcomes[fq]
+        assert not out.deadlocked
+        assert not out.unreceived
+        assert len(out.matched) == out.completed.count(out.completed[0]) and out.matched
+
+    def test_collective_divergence_outcome(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            helper="""
+            def sync(comm):
+                return comm.barrier()
+            """,
+            mod="""
+            from pkg.helper import sync
+
+            def fn(comm):
+                if comm.rank != 0:
+                    sync(comm)
+            """,
+        )
+        fq = next(iter(ana.outcomes))
+        assert ana.outcomes[fq].collective_divergence
+
+
+class TestReporting:
+    def test_role_groups_collapse_identical_ranks(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fn(comm):
+                if comm.rank == 0:
+                    for src in range(1, comm.size):
+                        comm.recv(source=src)
+                else:
+                    comm.send(comm.rank, dest=0)
+            """,
+        )
+        proto = ana.protocol_for("fn")
+        groups = proto.role_groups()
+        assert [ranks for ranks, _ in groups] == [[0], list(range(1, proto.size))]
+
+    def test_text_report_shape(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fn(comm):
+                return comm.bcast(comm.rank, root=0)
+            """,
+        )
+        text = format_protocol(ana.protocol_for("fn"))
+        assert text.startswith("protocol: pkg.mod.fn (model size")
+        assert "bcast(root=0)" in text
+
+    def test_json_report_round_trips(self, tmp_path):
+        ana = _analysis(
+            tmp_path,
+            mod="""
+            def fn(comm):
+                return comm.gather(comm.rank, root=0)
+            """,
+        )
+        data = json.loads(format_protocol(ana.protocol_for("fn"), fmt="json"))
+        assert data["function"] == "pkg.mod.fn"
+        assert data["imprecise"] is None
+        ops = {e["op"] for role in data["roles"] for e in role["events"]}
+        assert ops == {"gather"}
+
+    def test_analysis_is_memoized_on_project(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("def fn(comm):\n    comm.barrier()\n")
+        project = build_project([pkg])
+        assert analyze_protocols(project) is analyze_protocols(project)
+
+
+class TestCLIReport:
+    def test_protocol_report_text(self, capsys):
+        rc = main(
+            ["lint", str(REPO_SRC), "--protocol-report", "run_stage_on_comm"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("protocol: ")
+        assert "gather(root=0)" in out
+
+    def test_protocol_report_json(self, capsys):
+        rc = main(
+            [
+                "lint",
+                str(REPO_SRC),
+                "--protocol-report",
+                "run_stage_on_comm",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["function"].endswith("run_stage_on_comm")
+
+    def test_protocol_report_unknown_function(self, capsys):
+        rc = main(
+            ["lint", str(REPO_SRC), "--protocol-report", "definitely_missing"]
+        )
+        assert rc == 2
+        assert "no communicator-taking function" in capsys.readouterr().err
+
+    def test_stats_include_protocol_pass(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("def fn(comm):\n    comm.barrier()\n")
+        assert main(["lint", str(pkg), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol pass:" in out
+        assert "driver(s)" in out

@@ -225,3 +225,72 @@ class TestMPI003MutateAfterSend:
             "MPI003",
         )
         assert fs == []
+
+
+class TestReservedTagWindow:
+    """MPI002's window is *derived* from the runtime, never hand-kept.
+
+    This scans :mod:`repro.mpi.simcomm` for every internal collective
+    tag expression (``_COLLECTIVE_TAG_BASE - k``).  If a new collective
+    is added with an offset outside the declared span, this test fails
+    before the lint rule can drift out of sync with the runtime.
+    """
+
+    @staticmethod
+    def _claimed_tags():
+        import ast
+        import inspect
+
+        from repro.mpi import simcomm
+
+        base_names = {"_COLLECTIVE_TAG_BASE", "COLLECTIVE_TAG_BASE"}
+        tree = ast.parse(inspect.getsource(simcomm))
+        claimed = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and node.id in base_names:
+                claimed.append((simcomm.COLLECTIVE_TAG_BASE, node.lineno))
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Sub)
+                and isinstance(node.left, ast.Name)
+                and node.left.id in base_names
+                and isinstance(node.right, ast.Constant)
+                and type(node.right.value) is int
+            ):
+                claimed.append(
+                    (simcomm.COLLECTIVE_TAG_BASE - node.right.value, node.lineno)
+                )
+        return claimed
+
+    def test_every_internal_tag_inside_declared_window(self):
+        from repro.lint.rules.mpi import RESERVED_TAG_CEILING, RESERVED_TAG_FLOOR
+
+        claimed = self._claimed_tags()
+        assert claimed, "simcomm should use the shared tag base"
+        for tag, lineno in claimed:
+            assert RESERVED_TAG_FLOOR <= tag <= RESERVED_TAG_CEILING, (
+                f"simcomm.py:{lineno} claims collective tag {tag}, outside "
+                f"the declared window [{RESERVED_TAG_FLOOR}, "
+                f"{RESERVED_TAG_CEILING}] — bump COLLECTIVE_TAG_SPAN "
+                "alongside the new collective"
+            )
+
+    def test_rule_constants_come_from_the_runtime(self):
+        from repro.lint.rules.mpi import RESERVED_TAG_CEILING, RESERVED_TAG_FLOOR
+        from repro.mpi.simcomm import COLLECTIVE_TAG_BASE, COLLECTIVE_TAG_SPAN
+
+        assert RESERVED_TAG_CEILING == COLLECTIVE_TAG_BASE
+        assert RESERVED_TAG_FLOOR == COLLECTIVE_TAG_BASE - (COLLECTIVE_TAG_SPAN - 1)
+
+    def test_window_message_cites_the_window(self):
+        from repro.lint.rules.mpi import RESERVED_TAG_CEILING, RESERVED_TAG_FLOOR
+
+        fs = findings(
+            """
+            def fn(comm):
+                comm.send("x", 1, tag=-1004)
+            """,
+            "MPI002",
+        )
+        assert len(fs) == 1
+        assert f"[{RESERVED_TAG_FLOOR}, {RESERVED_TAG_CEILING}]" in fs[0].message

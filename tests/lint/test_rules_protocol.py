@@ -1,0 +1,201 @@
+"""MPI004-MPI007: the whole-program communication-protocol rules.
+
+The true-positive and true-negative fixtures live *on disk* under
+``tests/lint/fixtures/`` so the same packages double as the corpus the
+tree-wide self-clean gate walks.  Deliberate findings there carry
+targeted ``# noqa`` markers; these tests call ``check_project``
+directly (suppression applies in the driver, not in the rules), and
+separately verify the driver honours those per-line waivers even when
+the witness chain spans files.
+"""
+
+import re
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import build_project, lint_paths, select_rules
+from repro.lint.registry import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PROTOCOL_RULES = select_rules(["MPI004", "MPI005", "MPI006", "MPI007"])
+
+
+def _check(package: str, rule_id: str):
+    """Run one project rule directly over an on-disk corpus package."""
+    project = build_project([FIXTURES / package])
+    (rule,) = [r for r in all_rules() if r.id == rule_id]
+    return sorted(rule.check_project(project))
+
+
+def _pkg(tmp_path, name="pkg", **modules):
+    pkg = tmp_path / name
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for mod, src in modules.items():
+        (pkg / f"{mod}.py").write_text(textwrap.dedent(src))
+    return pkg
+
+
+class TestMPI004Unmatched:
+    def test_orphan_send_flagged_at_send_site(self):
+        fs = _check("proto_unmatched", "MPI004")
+        orphan = [f for f in fs if "never received" in f.message]
+        assert len(orphan) == 1
+        assert orphan[0].path.endswith("pipeline.py")
+        assert "`send(dest=1, tag=3)` by rank 0" in orphan[0].message
+        assert "orphan_send" in orphan[0].message
+
+    def test_starved_recv_flagged_at_recv_site(self):
+        fs = _check("proto_unmatched", "MPI004")
+        starved = [f for f in fs if "blocks rank 1" in f.message]
+        assert len(starved) == 1
+        assert "`recv(source=0, tag=9)`" in starved[0].message
+        assert "no send with a matching (dest, tag)" in starved[0].message
+
+    def test_clean_corpus_is_negative(self):
+        assert _check("proto_clean", "MPI004") == []
+
+    def test_end_to_end_through_driver(self, tmp_path):
+        pkg = _pkg(
+            tmp_path,
+            mod="""
+            def lonely(comm):
+                if comm.rank == 0:
+                    comm.send("x", dest=1, tag=7)
+            """,
+        )
+        fs = lint_paths([pkg], rules=PROTOCOL_RULES)
+        assert [f.rule for f in fs] == ["MPI004"]
+
+
+class TestMPI005CyclicWait:
+    def test_witness_names_both_roles_blocking_events(self):
+        fs = _check("proto_deadlock", "MPI005")
+        (pairwise,) = [f for f in fs if "pairwise_swap" in f.message]
+        # the acceptance bar: the witness names *each* role's blocking
+        # event, with its site, not just "a deadlock was detected".
+        assert "rank 0 blocks at `recv(source=1, tag=0)`" in pairwise.message
+        assert "rank 1 blocks at `recv(source=0, tag=0)`" in pairwise.message
+        assert pairwise.message.count("ring.py:") >= 2
+
+    def test_full_ring_cycle_lists_every_rank(self):
+        fs = _check("proto_deadlock", "MPI005")
+        (ring,) = [f for f in fs if "ring_exchange" in f.message]
+        for rank in range(4):
+            assert f"rank {rank} blocks at" in ring.message
+
+    def test_fix_suggestion_present(self):
+        fs = _check("proto_deadlock", "MPI005")
+        assert all("sendrecv" in f.message for f in fs)
+
+    def test_clean_corpus_is_negative(self):
+        assert _check("proto_clean", "MPI005") == []
+
+    def test_sendrecv_ring_is_negative(self, tmp_path):
+        pkg = _pkg(
+            tmp_path,
+            mod="""
+            def ring(comm):
+                right = (comm.rank + 1) % comm.size
+                left = (comm.rank - 1) % comm.size
+                return comm.sendrecv(comm.rank, dest=right, source=left)
+            """,
+        )
+        assert lint_paths([pkg], rules=PROTOCOL_RULES) == []
+
+
+class TestMPI006CollectiveDivergence:
+    def test_cross_file_witness_chain(self):
+        fs = _check("proto_diverge", "MPI006")
+        (skewed,) = [f for f in fs if "sync_lengths" in f.message]
+        assert skewed.path.endswith("driver.py")
+        # witness reaches into the other module and names the chain
+        assert "collective.py" in skewed.message
+        assert "via sync_lengths" in skewed.message
+        assert "allgather" in skewed.message
+
+    def test_rank_dependent_loop_trip_count(self):
+        fs = _check("proto_diverge", "MPI006")
+        (loop,) = [f for f in fs if "inside the loop" in f.message]
+        assert "rank-local data" in loop.message
+        assert "comm.reduce" in loop.message
+
+    def test_clean_corpus_is_negative(self):
+        # all-ranks helper collectives must not be mistaken for skew
+        assert _check("proto_clean", "MPI006") == []
+
+    def test_guarded_direct_collective_stays_mpi001(self, tmp_path):
+        # a collective guarded in the *same* function is MPI001's
+        # finding; MPI006 must not duplicate it.
+        pkg = _pkg(
+            tmp_path,
+            mod="""
+            def fn(comm):
+                if comm.rank == 0:
+                    comm.bcast(1, root=0)
+            """,
+        )
+        fs = lint_paths([pkg], rules=select_rules(["MPI001", "MPI006"]))
+        assert [f.rule for f in fs] == ["MPI001"]
+
+
+class TestMPI007PayloadContract:
+    def test_dict_sent_list_methods_used(self):
+        fs = _check("proto_badpayload", "MPI007")
+        assert len(fs) == 1
+        assert "`.append()`" in fs[0].message
+        assert "ships a dict" in fs[0].message
+        # the witness cites the matching send's site
+        assert re.search(r"sender\.py:\d+", fs[0].message)
+
+    def test_clean_corpus_is_negative(self):
+        # proto_clean receives a dict and calls .update on it
+        assert _check("proto_clean", "MPI007") == []
+
+    def test_unknown_use_is_not_flagged(self, tmp_path):
+        pkg = _pkg(
+            tmp_path,
+            mod="""
+            def fn(comm):
+                if comm.rank == 0:
+                    comm.send({"a": 1}, dest=1)
+                elif comm.rank == 1:
+                    obj = comm.recv(source=0)
+                    obj.frobnicate()
+            """,
+        )
+        assert lint_paths([pkg], rules=select_rules(["MPI007"])) == []
+
+
+class TestNoqaOnProjectFindings:
+    """Per-line noqa must silence whole-program findings too."""
+
+    def test_corpus_is_suppressed_through_the_driver(self):
+        # every deliberate finding in the corpus carries a targeted
+        # noqa — including MPI006, whose witness chain crosses files.
+        assert lint_paths([FIXTURES], rules=PROTOCOL_RULES) == []
+
+    def test_stripping_noqa_resurfaces_cross_file_finding(self, tmp_path):
+        src = FIXTURES / "proto_diverge"
+        dst = tmp_path / "proto_diverge"
+        shutil.copytree(src, dst)
+        for mod in dst.glob("*.py"):
+            mod.write_text(re.sub(r"\s*# noqa[^\n]*", "", mod.read_text()))
+        fs = lint_paths([dst], rules=PROTOCOL_RULES)
+        assert {f.rule for f in fs} == {"MPI006"}
+        assert any("via sync_lengths" in f.message for f in fs)
+
+    def test_noqa_for_other_rule_does_not_silence(self, tmp_path):
+        pkg = _pkg(
+            tmp_path,
+            mod="""
+            def fn(comm):
+                if comm.rank == 0:
+                    comm.send("x", dest=1)  # noqa: MPI001 - wrong rule
+            """,
+        )
+        fs = lint_paths([pkg], rules=PROTOCOL_RULES)
+        assert [f.rule for f in fs] == ["MPI004"]

@@ -98,7 +98,7 @@ class TestMessageLeak:
     def test_unconsumed_message_raises_at_shutdown(self):
         def fn(comm):
             if comm.rank == 0:
-                comm.send("orphan", dest=1, tag=7)  # nobody ever receives this
+                comm.send("orphan", dest=1, tag=7)  # noqa: MPI004 - deliberate leak fixture
 
         with pytest.raises(MessageLeakError, match=r"0->1 tag 7"):
             cluster(2, sanitize=True).run(fn)
@@ -106,7 +106,7 @@ class TestMessageLeak:
     def test_unconsumed_message_ignored_without_sanitize(self):
         def fn(comm):
             if comm.rank == 0:
-                comm.send("orphan", dest=1, tag=7)
+                comm.send("orphan", dest=1, tag=7)  # noqa: MPI004 - deliberate leak fixture
 
         cluster(2).run(fn)  # no error: leak detection is opt-in
 
@@ -115,7 +115,7 @@ class TestMessageLeak:
 
         def fn(comm):
             if comm.rank == 0:
-                comm.send("x", dest=1)
+                comm.send("x", dest=1)  # noqa: MPI004 - deliberate leak fixture
                 raise ValueError("boom")
             comm.advance(0.0)  # rank 1 exits without receiving
 
