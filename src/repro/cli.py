@@ -96,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --backend process (0 = one per partition)",
     )
     p.add_argument(
+        "--finish-engine",
+        choices=("loop", "sparse"),
+        default="loop",
+        help="finish-kernel implementation for the distributed cleaning "
+        "stages: scalar per-node loop or vectorized masked-CSR sparse "
+        "engine (identical contigs, see docs/performance.md)",
+    )
+    p.add_argument(
         "--timings",
         metavar="PATH",
         help="write per-stage durations as JSON (tagged with the backend, "
@@ -185,11 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="time the distributed finish stages across backends",
         description=(
             "Times the distributed graph stages (trim + traversal) on "
-            "D1/D2 across partition counts on the serial, sim, and "
-            "process backends, verifies byte-identical contigs, and "
-            "writes the trajectory JSON.  Exits nonzero if the backends "
-            "disagree, or (on multi-core hosts) if the process backend "
-            "is slower than serial at >= 4 partitions."
+            "D1/D2 plus synthetic finish-scale graphs across partition "
+            "counts, backends, and finish engines, verifies "
+            "byte-identical contigs across every backend x engine "
+            "cell, and writes the trajectory JSON.  Exits nonzero if "
+            "any cell disagrees, if (on multi-core hosts) the process "
+            "backend is slower than serial at >= 4 partitions, or if "
+            "the sparse engine is slower than the loop engine on a "
+            "large dataset."
         ),
     )
     b.add_argument(
@@ -211,7 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--datasets",
         nargs="*",
-        help="subset of dataset names to run (default: D1 D2)",
+        help="subset of dataset names to run (default: D1 D2 S4 S5)",
+    )
+    b.add_argument(
+        "--engine",
+        choices=("loop", "sparse", "both"),
+        default="both",
+        help="finish engines to time (default: both, with per-stage "
+        "loop-vs-sparse speedup rows)",
     )
     b = bench_sub.add_parser(
         "chaos",
@@ -405,6 +423,7 @@ def _cmd_assemble(args) -> int:
         overlap_workers=args.workers,
         backend=args.backend,
         backend_workers=args.backend_workers,
+        finish_engine=args.finish_engine,
         retry=retry,
         fault_plan=fault_plan,
         seed=args.seed,
@@ -507,6 +526,7 @@ def _cmd_bench(args) -> int:
             workers=args.workers,
             partitions=tuple(args.partitions),
             dataset_names=args.datasets,
+            engine=args.engine,
         )
     if args.bench_command == "chaos":
         from repro.bench.chaos_bench import main as bench_chaos_main

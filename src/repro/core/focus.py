@@ -118,6 +118,8 @@ class AssemblyResult:
     paths: list[list[int]] = field(default_factory=list)
     #: execution backend the distributed stages ran on.
     backend: str = "sim"
+    #: finish-kernel implementation the cleaning stages used.
+    engine: str = "loop"
     #: clock kind of ``virtual_times``: "virtual" or "wall".
     time_kind: str = "virtual"
     #: cumulative fault-injection/retry/recovery accounting from the
@@ -232,6 +234,7 @@ class FocusAssembler:
         n_partitions: int | None = None,
         partition_mode: str | None = None,
         backend: str | None = None,
+        engine: str | None = None,
         checkpoint: str | os.PathLike | None = None,
         resume: bool = False,
     ) -> AssemblyResult:
@@ -243,6 +246,10 @@ class FocusAssembler:
         configured backend (``serial``, ``sim``, or ``process``) —
         contigs are byte-identical across backends; only where the
         kernels run and which clock fills ``virtual_times`` changes.
+        ``engine`` overrides ``config.finish_engine`` ("loop" or
+        "sparse"); both engines propose identical removals, so it is
+        likewise excluded from the checkpoint fingerprint — a
+        checkpoint written by one engine resumes under the other.
 
         With ``checkpoint`` set, the alive-masks and completed-stage
         list are persisted (atomically) after every distributed stage;
@@ -258,6 +265,9 @@ class FocusAssembler:
         k = cfg.n_partitions if n_partitions is None else n_partitions
         mode = cfg.partition_mode if partition_mode is None else partition_mode
         backend_name = cfg.backend if backend is None else backend
+        engine_name = cfg.finish_engine if engine is None else engine
+        if engine_name not in ("loop", "sparse"):
+            raise ValueError(f"unknown finish engine {engine_name!r}")
         if k < 1 or (k & (k - 1)) != 0:
             raise ValueError("n_partitions must be a power of two")
         if mode not in ("hybrid", "multilevel"):
@@ -308,17 +318,18 @@ class FocusAssembler:
         injector = None
         if cfg.fault_plan is not None and not cfg.fault_plan.empty:
             injector = FaultInjector(cfg.fault_plan.scaled_to(dag.n_parts))
-        engine = create_backend(
+        runner = create_backend(
             backend_name,
             dag,
             workers=cfg.backend_workers,
             cost_model=self.cost_model,
             retry=cfg.retry,
             injector=injector,
+            engine=engine_name,
         )
 
         def run(stage: str, **params) -> object:
-            out = engine.run_stage(stage, **params)
+            out = runner.run_stage(stage, **params)
             stage_times[stage] = out.elapsed
             completed.append(stage)
             if ckpt_file is not None:
@@ -369,7 +380,7 @@ class FocusAssembler:
                 with timer.stage("traverse"):
                     paths = run("traversal")
         finally:
-            engine.close()
+            runner.close()
 
         with timer.stage("contigs"):
             contigs = contigs_from_paths(dag, paths)
@@ -389,9 +400,10 @@ class FocusAssembler:
             dag=dag,
             partition=part,
             paths=paths,
-            backend=engine.name,
-            time_kind=engine.time_kind,
-            fault_report=engine.fault_report,
+            backend=runner.name,
+            time_kind=runner.time_kind,
+            fault_report=runner.fault_report,
+            engine=engine_name,
         )
 
     def assemble(self, reads: ReadSet) -> AssemblyResult:

@@ -14,11 +14,14 @@ import numpy as np
 
 from repro.distributed.dgraph import DistributedAssemblyGraph
 from repro.distributed.stages import register_stage, run_stage_on_comm, union_proposals
+from repro.graph.sparse import ragged_positions
 from repro.sequence.dna import hamming_identity
 
 __all__ = [
     "find_containments",
+    "find_containments_sparse",
     "containment_kernel",
+    "containment_sparse_kernel",
     "apply_containments",
     "containment_removal",
 ]
@@ -67,6 +70,95 @@ def find_containments(
     return dead_nodes, dead_edges
 
 
+def _batched_identities(
+    contigs: list[np.ndarray],
+    v: np.ndarray,
+    u: np.ndarray,
+    start: np.ndarray,
+) -> np.ndarray:
+    """Identity of ``contigs[v[i]]`` vs ``contigs[u[i]][start[i]:...]``.
+
+    Geometry is pre-filtered so every slice fits; rows are bucketed by
+    inner length and each bucket compared as one stacked
+    ``hamming_identity`` — the batched form of
+    :func:`_contained_identity`.
+    """
+    out = np.zeros(v.size, dtype=np.float64)
+    if v.size == 0:
+        return out
+    lengths = np.array([c.size for c in contigs], dtype=np.int64)
+    flat = np.concatenate([np.asarray(c) for c in contigs])
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    inner_len = lengths[v]
+    for length in np.unique(inner_len):
+        rows = np.flatnonzero(inner_len == length)
+        if length == 0:
+            out[rows] = 1.0  # hamming_identity's empty-sequence convention
+            continue
+        k = rows.size
+        inner = flat[
+            ragged_positions(offsets[v[rows]], np.full(k, length))
+        ].reshape(k, length)
+        outer = flat[
+            ragged_positions(offsets[u[rows]] + start[rows], np.full(k, length))
+        ].reshape(k, length)
+        # Row-wise hamming_identity over the stacked slices.
+        out[rows] = np.count_nonzero(inner == outer, axis=1) / length
+    return out
+
+
+def find_containments_sparse(
+    dag: DistributedAssemblyGraph,
+    nodes: np.ndarray,
+    min_overlap: int = 50,
+    min_identity: float = 0.9,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`find_containments`: same sets, no node loop.
+
+    The loop stops scanning a node at its first containment hit, so a
+    short-overlap edge *after* that hit is never proposed by this node;
+    the vectorized form replays that with a per-node first-hit cutoff
+    over the graph's CSR incident order (hence
+    ``alive_incident_many``, which preserves it).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    if nodes.size == 0:
+        return empty, empty
+    indptr, nbrs, eids = dag.alive_incident_many(nodes)
+    if nbrs.size == 0:
+        return empty, empty
+    contigs = dag.assembly.contigs
+    lengths = dag.assembly.contig_lengths
+    owner = np.repeat(
+        np.arange(nodes.size, dtype=np.int64), np.diff(indptr)
+    )
+    v = nodes[owner]
+    d = dag.edge_deltas(eids, v)
+    len_v, len_u = lengths[v], lengths[nbrs]
+    overlap = np.minimum(len_v, d + len_u) - np.maximum(0, d)
+    short = overlap < min_overlap
+    # Geometric containment of v in u, with the mutual-containment
+    # tie-break (coextensive contigs keep the lower id).
+    covered = (d <= 0) & (d + len_u >= len_v)
+    proper = (d < 0) | (d + len_u > len_v)
+    geom = ~short & covered & (proper | (v > nbrs))
+    rows = np.flatnonzero(geom)
+    ident = np.zeros(nbrs.size, dtype=np.float64)
+    ident[rows] = _batched_identities(contigs, v[rows], nbrs[rows], -d[rows])
+    hit = geom & (ident >= min_identity)
+    # First containment hit per node ends its scan.
+    first_hit = np.full(nodes.size, nbrs.size, dtype=np.int64)
+    np.minimum.at(first_hit, owner[hit], np.flatnonzero(hit))
+    dead_nodes = nodes[first_hit < nbrs.size]
+    dead_edge_rows = short & (np.arange(nbrs.size) < first_hit[owner])
+    return (
+        np.unique(dead_nodes),
+        np.unique(eids[dead_edge_rows]),
+    )
+
+
 def containment_kernel(
     dag: DistributedAssemblyGraph,
     part: int,
@@ -80,6 +172,18 @@ def containment_kernel(
     return np.asarray(nodes, dtype=np.int64), np.asarray(edges, dtype=np.int64)
 
 
+def containment_sparse_kernel(
+    dag: DistributedAssemblyGraph,
+    part: int,
+    min_overlap: int = 50,
+    min_identity: float = 0.9,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse-engine kernel: identical proposals, batched identities."""
+    return find_containments_sparse(
+        dag, dag.partition_nodes(part), min_overlap, min_identity
+    )
+
+
 def apply_containments(
     dag: DistributedAssemblyGraph, proposals, **_params
 ) -> tuple[int, int]:
@@ -89,7 +193,12 @@ def apply_containments(
     return dag.remove_nodes(nodes), dag.remove_edges(edges)
 
 
-CONTAINMENT = register_stage("containment", containment_kernel, apply_containments)
+CONTAINMENT = register_stage(
+    "containment",
+    containment_kernel,
+    apply_containments,
+    sparse_kernel=containment_sparse_kernel,
+)
 
 
 def containment_removal(

@@ -22,6 +22,7 @@ import numpy as np
 from repro.graph.contigs import cluster_layout_offsets, consensus_from_layout
 from repro.graph.hybrid import HybridGraphSet
 from repro.graph.overlap_graph import OverlapGraph
+from repro.graph.sparse import SparseStructure, ragged_positions
 from repro.io.readset import ReadSet
 
 __all__ = ["HybridAssembly", "enrich_hybrid", "DistributedAssemblyGraph"]
@@ -124,6 +125,29 @@ class DistributedAssemblyGraph:
         self.n_parts = int(labels.max()) + 1 if labels.size else 0
         self.node_alive = np.ones(self.graph.n_nodes, dtype=bool)
         self.edge_alive = np.ones(self.graph.n_edges, dtype=bool)
+        # Mask-independent sparse tables, primed once by the execution
+        # backend (master-side, or per worker after fork) so sequential
+        # sparse-engine stages share the one sorted build.
+        self._sparse: SparseStructure | None = None
+
+    # -- sparse representation ---------------------------------------------
+
+    def prime_sparse(self) -> SparseStructure:
+        """Build and cache the sparse structure (mutating; backend-only).
+
+        Kernels must not call this — they read :attr:`sparse_structure`,
+        which falls back to a throwaway build when nothing is primed.
+        """
+        if self._sparse is None:
+            self._sparse = SparseStructure(self.graph)
+        return self._sparse
+
+    @property
+    def sparse_structure(self) -> SparseStructure:
+        """The cached-or-fresh sparse structure (pure: never assigns)."""
+        if self._sparse is not None:
+            return self._sparse
+        return SparseStructure(self.graph)
 
     # -- partition views ---------------------------------------------------
 
@@ -141,6 +165,64 @@ class DistributedAssemblyGraph:
 
     def alive_degree(self, v: int) -> int:
         return int(self.alive_incident(v)[0].size)
+
+    def alive_degrees(self, nodes) -> np.ndarray:
+        """Alive degree of each node in one vectorized pass."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return np.empty(0, dtype=np.int64)
+        g = self.graph
+        counts = (g.indptr[nodes + 1] - g.indptr[nodes]).astype(np.int64)
+        slots = ragged_positions(g.indptr[nodes].astype(np.int64), counts)
+        keep = self.edge_alive[g.adj_edge[slots]] & self.node_alive[g.adj[slots]]
+        owner = np.repeat(np.arange(nodes.size, dtype=np.int64), counts)
+        return np.bincount(owner[keep], minlength=nodes.size)
+
+    def alive_incident_many(
+        self, nodes
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(indptr, neighbour ids, edge ids) of many nodes' alive edges.
+
+        Row ``i`` spans ``nbrs[indptr[i]:indptr[i+1]]`` in the same
+        order :meth:`alive_incident` yields for ``nodes[i]`` — the
+        graph's CSR incident order, which order-sensitive kernels
+        (containment's first-hit break) rely on.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return np.zeros(1, dtype=np.int64), empty, empty
+        g = self.graph
+        counts = (g.indptr[nodes + 1] - g.indptr[nodes]).astype(np.int64)
+        slots = ragged_positions(g.indptr[nodes].astype(np.int64), counts)
+        nbrs = g.adj[slots]
+        eids = g.adj_edge[slots]
+        keep = self.edge_alive[eids] & self.node_alive[nbrs]
+        owner = np.repeat(np.arange(nodes.size, dtype=np.int64), counts)
+        indptr = np.zeros(nodes.size + 1, dtype=np.int64)
+        np.cumsum(np.bincount(owner[keep], minlength=nodes.size), out=indptr[1:])
+        return indptr, nbrs[keep].astype(np.int64), eids[keep].astype(np.int64)
+
+    def edge_deltas(self, eids, v) -> np.ndarray:
+        """Delta of each edge as seen from endpoint ``v``, vectorized.
+
+        ``v`` may be a scalar (one viewpoint for all edges) or an array
+        paired elementwise with ``eids``; every edge must be incident
+        to its viewpoint, mirroring ``OverlapGraph.edge_delta``.
+        """
+        eids = np.asarray(eids, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        g = self.graph
+        at_u = g.eu[eids] == v
+        if not (at_u | (g.ev[eids] == v)).all():
+            raise ValueError("edge_deltas: an edge is not incident to its viewpoint")
+        return np.where(at_u, g.deltas[eids], -g.deltas[eids])
+
+    def alive_edge_ids(self) -> np.ndarray:
+        """Ids of edges alive at both endpoints."""
+        g = self.graph
+        alive = self.edge_alive & self.node_alive[g.eu] & self.node_alive[g.ev]
+        return np.flatnonzero(alive).astype(np.int64)
 
     def _directed_deltas(self, v: int, eids: np.ndarray) -> np.ndarray:
         """Deltas of the given edges as seen from endpoint ``v``."""

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.distributed.dgraph import DistributedAssemblyGraph
 from repro.distributed.stages import register_stage, run_stage_on_comm
+from repro.graph.sparse import masked_view
 
 __all__ = [
     "extract_subpaths",
@@ -189,24 +190,34 @@ def maximal_paths(comm, dag: DistributedAssemblyGraph) -> list[list[int]] | None
 def contigs_from_paths(
     dag: DistributedAssemblyGraph, paths: list[list[int]]
 ) -> list[np.ndarray]:
-    """One consensus sequence per path, overlaying contigs at offsets."""
+    """One consensus sequence per path, overlaying contigs at offsets.
+
+    All step deltas resolve through one batched sparse pair lookup
+    instead of per-node ``alive_incident`` slicing.
+    """
     out: list[np.ndarray] = []
     contigs = dag.assembly.contigs
-    g = dag.graph
+    multi = [p for p in paths if len(p) > 1]
+    if multi:
+        heads = np.concatenate([np.asarray(p[:-1], dtype=np.int64) for p in multi])
+        tails = np.concatenate([np.asarray(p[1:], dtype=np.int64) for p in multi])
+        step_deltas, found = masked_view(dag).pair_deltas(heads, tails)
+        if not found.all():
+            i = int(np.flatnonzero(~found)[0])
+            raise ValueError(
+                f"path step {int(heads[i])}->{int(tails[i])} has no alive edge"
+            )
+    cursor = 0
     for path in paths:
         if len(path) == 1:
             out.append(contigs[path[0]].copy())
             continue
-        offsets = [0]
-        for a, b in zip(path, path[1:]):
-            nbrs, eids = dag.alive_incident(a)
-            hit = np.flatnonzero(nbrs == b)
-            if hit.size == 0:
-                raise ValueError(f"path step {a}->{b} has no alive edge")
-            d = g.edge_delta(int(eids[hit[0]]), a)
-            offsets.append(offsets[-1] + d)
-        base = min(offsets)
-        offsets = [o - base for o in offsets]
+        k = len(path) - 1
+        d = step_deltas[cursor : cursor + k]
+        cursor += k
+        offs = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(d, out=offs[1:])
+        offsets = (offs - offs.min()).tolist()
         width = max(o + contigs[v].size for o, v in zip(offsets, path))
         counts = np.zeros((width, 4), dtype=np.int64)
         for o, v in zip(offsets, path):

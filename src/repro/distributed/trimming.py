@@ -18,14 +18,19 @@ import numpy as np
 
 from repro.distributed.dgraph import DistributedAssemblyGraph
 from repro.distributed.stages import register_stage, run_stage_on_comm, union_proposals
+from repro.graph.sparse import masked_view
 
 __all__ = [
     "find_dead_ends",
+    "find_dead_ends_sparse",
     "dead_end_kernel",
+    "dead_end_sparse_kernel",
     "apply_dead_ends",
     "trim_dead_ends",
     "find_bubbles",
+    "find_bubbles_sparse",
     "bubble_kernel",
+    "bubble_sparse_kernel",
     "apply_bubbles",
     "pop_bubbles",
 ]
@@ -70,6 +75,69 @@ def find_dead_ends(
     return out
 
 
+def find_dead_ends_sparse(
+    dag: DistributedAssemblyGraph, nodes: np.ndarray, max_tip_bases: int = 150
+) -> np.ndarray:
+    """Vectorized :func:`find_dead_ends`: same set, no per-tip loop.
+
+    All degree-1 tips of the partition walk their chains *in lockstep*
+    on the frozen alive view: each peeling round advances every still-
+    active walk one hop using the view's degree vector (an ``indptr``
+    diff) and CSR neighbour slots.  Rounds run until every walk has
+    resolved — at most O(longest chain) iterations of O(active tips)
+    vector work, never O(nodes) Python steps.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    if nodes.size == 0:
+        return empty
+    view = masked_view(dag)
+    deg = view.degrees
+    contig_len = dag.assembly.contig_lengths
+    tips = nodes[deg[nodes] == 1]
+    if tips.size == 0:
+        return empty
+    n_tips = tips.size
+    # Walk state: bases counts the chain collected so far (tip
+    # included); cur is the node under inspection this round.
+    prev = tips.copy()
+    cur = view.dst[view.indptr[tips]]
+    bases = contig_len[tips].astype(np.int64)
+    ok = np.zeros(n_tips, dtype=bool)
+    active = np.arange(n_tips, dtype=np.int64)
+    chain_tip: list[np.ndarray] = []
+    chain_node: list[np.ndarray] = []
+    while active.size:
+        live = bases <= max_tip_bases
+        d = deg[cur]
+        junction = live & (d >= 3)
+        ok[active[junction]] = True
+        # Walks continue only through interior degree-2 nodes within
+        # the base budget; degree-1 means an isolated chain (left
+        # alone, like the loop's tip-to-tip break).
+        cont = live & (d == 2)
+        if not cont.any():
+            break
+        active, prev, cur, bases = (
+            active[cont],
+            prev[cont],
+            cur[cont],
+            bases[cont],
+        )
+        chain_tip.append(active)
+        chain_node.append(cur)
+        bases = bases + contig_len[cur]
+        lo = view.indptr[cur]
+        nbr0 = view.dst[lo]
+        nbr1 = view.dst[lo + 1]
+        nxt = np.where(nbr0 != prev, nbr0, nbr1)
+        prev, cur = cur, nxt
+    out = [tips[ok]]
+    for t, c in zip(chain_tip, chain_node):
+        out.append(c[ok[t]])
+    return np.unique(np.concatenate(out))
+
+
 def dead_end_kernel(
     dag: DistributedAssemblyGraph, part: int, max_tip_bases: int = 150
 ) -> np.ndarray:
@@ -78,12 +146,24 @@ def dead_end_kernel(
     return np.asarray(found, dtype=np.int64)
 
 
+def dead_end_sparse_kernel(
+    dag: DistributedAssemblyGraph, part: int, max_tip_bases: int = 150
+) -> np.ndarray:
+    """Sparse-engine kernel: identical proposals, lockstep peeling."""
+    return find_dead_ends_sparse(dag, dag.partition_nodes(part), max_tip_bases)
+
+
 def apply_dead_ends(dag: DistributedAssemblyGraph, proposals, **_params) -> int:
     """Master merge: union the proposals and kill the nodes."""
     return dag.remove_nodes(union_proposals(proposals))
 
 
-DEAD_ENDS = register_stage("dead_ends", dead_end_kernel, apply_dead_ends)
+DEAD_ENDS = register_stage(
+    "dead_ends",
+    dead_end_kernel,
+    apply_dead_ends,
+    sparse_kernel=dead_end_sparse_kernel,
+)
 
 
 def trim_dead_ends(comm, dag: DistributedAssemblyGraph, max_tip_bases: int = 150) -> int:
@@ -128,10 +208,70 @@ def find_bubbles(dag: DistributedAssemblyGraph, nodes: np.ndarray) -> list[int]:
     return out
 
 
+def find_bubbles_sparse(
+    dag: DistributedAssemblyGraph, nodes: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`find_bubbles`: same set, grouped two-path join.
+
+    Every (anchor v, degree-2 branch u) row resolves u's far endpoint
+    ``w`` from the view's two CSR slots, then a single lexsort groups
+    rows by the (anchor, side-of-v, far-endpoint) key; in each group of
+    two or more parallel branches, all but the (contig length, id)-max
+    branch are proposed — group membership is order-free, so the
+    view's (src, dst) order needs no replay of the loop's incident
+    order.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    if nodes.size == 0:
+        return empty
+    view = masked_view(dag)
+    if view.src.size == 0:
+        return empty
+    in_part = np.zeros(view.n_nodes, dtype=bool)
+    in_part[nodes] = True
+    deg = view.degrees
+    rows = np.flatnonzero(in_part[view.src] & (deg[view.dst] == 2))
+    if rows.size == 0:
+        return empty
+    v = view.src[rows]
+    u = view.dst[rows]
+    side = np.sign(view.delta[rows])
+    # u's far endpoint: the one of its two alive slots that is not v.
+    lo = view.indptr[u]
+    nbr0 = view.dst[lo]
+    nbr1 = view.dst[lo + 1]
+    w = np.where(nbr0 != v, nbr0, nbr1)
+    keep = w != v
+    v, u, side, w = v[keep], u[keep], side[keep], w[keep]
+    if v.size == 0:
+        return empty
+    contig_len = dag.assembly.contig_lengths
+    lu = contig_len[u]
+    # Group parallel branches by (anchor, side, far endpoint); within a
+    # group the (contig length, id)-max branch survives, i.e. the last
+    # element under this sort.
+    order = np.lexsort((u, lu, w, side, v))
+    v, u, side, w = v[order], u[order], side[order], w[order]
+    new_group = np.ones(v.size, dtype=bool)
+    new_group[1:] = (v[1:] != v[:-1]) | (side[1:] != side[:-1]) | (w[1:] != w[:-1])
+    group = np.cumsum(new_group) - 1
+    sizes = np.bincount(group)
+    last_in_group = np.ones(v.size, dtype=bool)
+    last_in_group[:-1] = new_group[1:]
+    pop = (sizes[group] >= 2) & ~last_in_group
+    return np.unique(u[pop])
+
+
 def bubble_kernel(dag: DistributedAssemblyGraph, part: int) -> np.ndarray:
     """Pure kernel: lighter-branch node ids proposed by one partition."""
     found = find_bubbles(dag, dag.partition_nodes(part))
     return np.asarray(found, dtype=np.int64)
+
+
+def bubble_sparse_kernel(dag: DistributedAssemblyGraph, part: int) -> np.ndarray:
+    """Sparse-engine kernel: identical proposals, grouped join."""
+    return find_bubbles_sparse(dag, dag.partition_nodes(part))
 
 
 def apply_bubbles(dag: DistributedAssemblyGraph, proposals, **_params) -> int:
@@ -139,7 +279,12 @@ def apply_bubbles(dag: DistributedAssemblyGraph, proposals, **_params) -> int:
     return dag.remove_nodes(union_proposals(proposals))
 
 
-BUBBLES = register_stage("bubbles", bubble_kernel, apply_bubbles)
+BUBBLES = register_stage(
+    "bubbles",
+    bubble_kernel,
+    apply_bubbles,
+    sparse_kernel=bubble_sparse_kernel,
+)
 
 
 def pop_bubbles(comm, dag: DistributedAssemblyGraph) -> int:

@@ -51,20 +51,22 @@ def _branch_pairs(dag: DistributedAssemblyGraph, v: int) -> list[tuple[int, int,
     Same geometry as bubble popping: both branches degree-2, same far
     endpoint, same side of the anchor.
     """
-    g = dag.graph
     nbrs, eids = dag.alive_incident(v)
-    two_deg = [
-        (int(u), int(np.sign(g.edge_delta(int(e), v))))
-        for u, e in zip(nbrs.tolist(), eids.tolist())
-        if dag.alive_degree(int(u)) == 2
-    ]
+    # Batched degree/delta queries instead of per-neighbour calls.
+    keep = dag.alive_degrees(nbrs) == 2
+    two_nbrs, two_eids = nbrs[keep], eids[keep]
+    sides = np.sign(dag.edge_deltas(two_eids, np.full(two_eids.size, v)))
+    u_indptr, u_nbrs, _ = dag.alive_incident_many(two_nbrs)
     far: dict[tuple[int, int], list[int]] = {}
-    for u, side in two_deg:
-        u_nbrs, _ = dag.alive_incident(u)
-        other = [int(x) for x in u_nbrs.tolist() if int(x) != v]
+    for i, (u, side) in enumerate(zip(two_nbrs.tolist(), sides.tolist())):
+        other = [
+            int(x)
+            for x in u_nbrs[u_indptr[i] : u_indptr[i + 1]].tolist()
+            if int(x) != v
+        ]
         if len(other) != 1:
             continue
-        far.setdefault((other[0], side), []).append(u)
+        far.setdefault((other[0], int(side)), []).append(u)
     out = []
     for (w, _side), branches in far.items():
         if w == v or len(branches) < 2:

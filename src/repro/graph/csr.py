@@ -33,9 +33,16 @@ def build_csr(
     if (eu == ev).any():
         raise ValueError("self-loops are not allowed")
     m = eu.size
+    if m == 0:
+        # Edgeless graph (empty partition / isolated nodes): the same
+        # int64 triple shape as the populated path, so downstream sparse
+        # views never special-case it.  (np.arange defaults to intp —
+        # int32 on some platforms — hence the explicit dtypes.)
+        empty = np.empty(0, dtype=np.int64)
+        return np.zeros(n_nodes + 1, dtype=np.int64), empty, empty
     src = np.concatenate([eu, ev])
     dst = np.concatenate([ev, eu])
-    eids = np.concatenate([np.arange(m), np.arange(m)])
+    eids = np.concatenate([np.arange(m, dtype=np.int64), np.arange(m, dtype=np.int64)])
     order = np.argsort(src, kind="stable")
     src, dst, eids = src[order], dst[order], eids[order]
     indptr = np.zeros(n_nodes + 1, dtype=np.int64)

@@ -8,10 +8,15 @@ rule flags ``for``/``while`` loops in communicator-taking functions
 that neither run under ``timed()`` nor touch the communicator in their
 body (a loop that sends/receives is communication, not untimed compute).
 
-PERF002 — the alignment hot path (``src/repro/align/``) is batch
-vectorized; iterating ``.tolist()`` output in an overlap/candidate
-function reintroduces a per-element Python loop on the innermost path,
-exactly the scalarization the vectorized engine removed.
+PERF002 — the vectorized hot paths must stay vectorized.  Two kinds
+of function carry the contract: the alignment engine
+(``src/repro/align/``, overlap/candidate functions) and the sparse
+finish engine (``src/repro/graph/sparse.py`` plus ``sparse``-named
+functions under ``src/repro/distributed/``).  Iterating ``.tolist()``
+output there reintroduces a per-element Python loop on the innermost
+path, exactly the scalarization the vectorized engine removed.  The
+scalar ``loop`` reference kernels are deliberately exempt — they are
+the readable spec the sparse engine is checked against.
 """
 
 from __future__ import annotations
@@ -82,6 +87,11 @@ def _is_hot_function(name: str) -> bool:
     )
 
 
+def _is_sparse_hot_function(name: str) -> bool:
+    """Finish-engine functions that promise vectorized execution."""
+    return "sparse" in name
+
+
 def _iter_calls_tolist(node: ast.expr) -> bool:
     """True when the expression contains a ``.tolist()`` call."""
     for sub in ast.walk(node):
@@ -98,15 +108,26 @@ def _iter_calls_tolist(node: ast.expr) -> bool:
 class ScalarizedHotLoop(Rule):
     id = "PERF002"
     severity = Severity.WARNING
-    summary = "per-element `for ... in ....tolist()` loop on the overlap hot path"
+    summary = "per-element `for ... in ....tolist()` loop on a vectorized hot path"
+
+    def _hot_functions(self, ctx: FileContext):
+        path = ctx.path.replace("\\", "/")
+        if "repro/align/" in path:
+            for func in ctx.functions():
+                if _is_hot_function(func.name):
+                    yield func
+        elif "repro/graph/sparse" in path:
+            # The whole module is the vectorized engine's substrate.
+            yield from ctx.functions()
+        elif "repro/distributed/" in path:
+            # Only the sparse kernels promise vectorization; the loop
+            # reference kernels are the readable spec and stay scalar.
+            for func in ctx.functions():
+                if _is_sparse_hot_function(func.name):
+                    yield func
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        path = ctx.path.replace("\\", "/")
-        if "repro/align/" not in path:
-            return
-        for func in ctx.functions():
-            if not _is_hot_function(func.name):
-                continue
+        for func in self._hot_functions(ctx):
             for node in ast.walk(func):
                 if isinstance(node, (ast.For, ast.AsyncFor)) and _iter_calls_tolist(
                     node.iter
@@ -116,6 +137,6 @@ class ScalarizedHotLoop(Rule):
                         node,
                         "hot-path function iterates `.tolist()` element by "
                         "element — batch the work with array operations (see "
-                        "the vectorized overlap engine), or mark a deliberate "
-                        "scalar fallback with `# noqa: PERF002`",
+                        "the vectorized overlap/sparse engines), or mark a "
+                        "deliberate scalar fallback with `# noqa: PERF002`",
                     )

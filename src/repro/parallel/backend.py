@@ -57,7 +57,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.distributed.stages import StageSpec, get_stage
+from repro.distributed.stages import ENGINES, StageSpec, get_stage
 from repro.faults import (
     DeadlineExceededError,
     FaultInjector,
@@ -109,7 +109,10 @@ class ExecutionBackend:
     standard :class:`~repro.faults.RetryPolicy`); ``injector``
     optionally injects deterministic faults from a
     :class:`~repro.faults.FaultPlan`.  ``fault_report`` accumulates
-    activity across every stage run on this backend.
+    activity across every stage run on this backend.  ``engine``
+    selects the kernel implementation ("loop" or "sparse") for every
+    stage run on this backend; ``run_stage(engine=...)`` overrides it
+    per call.
     """
 
     name: str = ""
@@ -120,17 +123,36 @@ class ExecutionBackend:
         dag,
         retry: RetryPolicy | None = None,
         injector: FaultInjector | None = None,
+        engine: str = "loop",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.dag = dag
         self.retry = retry if retry is not None else RetryPolicy()
         self.injector = injector
+        self.engine = engine
         self.fault_report = FaultReport()
 
     @staticmethod
     def _resolve(stage: StageSpec | str) -> StageSpec:
         return get_stage(stage) if isinstance(stage, str) else stage
 
-    def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
+    def _engine_spec(self, stage: StageSpec | str, engine: str | None) -> tuple[StageSpec, str]:
+        """(engine-resolved spec, effective engine name) for one run.
+
+        The sparse engine's mask-independent structure is primed on the
+        master here, so sequential stages — and in-process fallbacks —
+        share the one sorted build.
+        """
+        eng = engine if engine is not None else self.engine
+        spec = self._resolve(stage).with_engine(eng)
+        if eng == "sparse":
+            self.dag.prime_sparse()
+        return spec, eng
+
+    def run_stage(
+        self, stage: StageSpec | str, engine: str | None = None, **params
+    ) -> StageOutcome:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -205,8 +227,10 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     time_kind = "wall"
 
-    def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
-        spec = self._resolve(stage)
+    def run_stage(
+        self, stage: StageSpec | str, engine: str | None = None, **params
+    ) -> StageOutcome:
+        spec, _ = self._engine_spec(stage, engine)
         dag = self.dag
         report = FaultReport()
         t0 = time.perf_counter()
@@ -234,7 +258,14 @@ def _init_stage_worker(assembly, labels) -> None:
 
 
 def _run_stage_task(
-    stage_name: str, part: int, node_alive, edge_alive, params, plan, attempt
+    stage_name: str,
+    part: int,
+    node_alive,
+    edge_alive,
+    params,
+    plan,
+    attempt,
+    engine: str = "loop",
 ):
     """Execute one (stage, partition) kernel inside a worker process.
 
@@ -242,14 +273,18 @@ def _run_stage_task(
     the only state stages mutate), so sequential stages see each
     other's removals without re-priming the pool.  ``plan``/``attempt``
     drive fault injection: a "crash" fault really SIGKILLs this
-    worker, a "hang" really sleeps past the deadline.
+    worker, a "hang" really sleeps past the deadline.  ``engine``
+    picks the kernel implementation; the sparse structure is primed
+    once per worker and reused across tasks (it is mask-independent).
     """
     if plan is not None:
         apply_kernel_fault_in_worker(plan, stage_name, part, attempt)
     dag = _WORKER["dag"]
     dag.node_alive = node_alive
     dag.edge_alive = edge_alive
-    return get_stage(stage_name).kernel(dag, part, **params)
+    if engine == "sparse":
+        dag.prime_sparse()
+    return get_stage(stage_name).kernel_for(engine)(dag, part, **params)
 
 
 def _warmup_worker() -> int:
@@ -294,8 +329,9 @@ class ProcessBackend(ExecutionBackend):
         workers: int = 0,
         retry: RetryPolicy | None = None,
         injector: FaultInjector | None = None,
+        engine: str = "loop",
     ) -> None:
-        super().__init__(dag, retry=retry, injector=injector)
+        super().__init__(dag, retry=retry, injector=injector, engine=engine)
         if workers < 0:
             raise ValueError("workers must be non-negative")
         cores = os.cpu_count() or 1
@@ -344,24 +380,28 @@ class ProcessBackend(ExecutionBackend):
                 proc.kill()
         pool.shutdown(wait=not kill, cancel_futures=True)
 
-    def run_stage(self, stage: StageSpec | str, **params) -> StageOutcome:
-        spec = self._resolve(stage)
+    def run_stage(
+        self, stage: StageSpec | str, engine: str | None = None, **params
+    ) -> StageOutcome:
+        spec, eng = self._engine_spec(stage, engine)
         dag = self.dag
         if dag.n_parts <= 1 or self.n_workers <= 1:
             # Nothing to parallelise: run in-process, same clock kind,
             # same retry/injection semantics.
-            inner = SerialBackend(dag, retry=self.retry, injector=self.injector)
+            inner = SerialBackend(
+                dag, retry=self.retry, injector=self.injector, engine=eng
+            )
             outcome = inner.run_stage(spec, **params)
             self.fault_report.merge(inner.fault_report)
             return outcome
         report = FaultReport()
         t0 = time.perf_counter()
-        proposals = self._collect_proposals(spec, params, report)
+        proposals = self._collect_proposals(spec, params, report, eng)
         result = spec.merge(dag, proposals, **params)
         return self._finish_outcome(spec, result, time.perf_counter() - t0, report)
 
     def _collect_proposals(
-        self, spec: StageSpec, params: dict, report: FaultReport
+        self, spec: StageSpec, params: dict, report: FaultReport, engine: str = "loop"
     ) -> list:
         """Run every partition's kernel to completion, surviving faults."""
         dag = self.dag
@@ -425,6 +465,7 @@ class ProcessBackend(ExecutionBackend):
                         params,
                         self._plan,
                         attempt[part],
+                        engine,
                     )
                     for part in submit_order
                 }
@@ -534,17 +575,21 @@ def create_backend(
     sanitize: bool = False,
     retry: RetryPolicy | None = None,
     injector: FaultInjector | None = None,
+    engine: str = "loop",
 ) -> ExecutionBackend:
     """Instantiate a backend by name for one distributed graph.
 
     ``workers`` only affects ``process``; ``cost_model`` and
-    ``sanitize`` only affect ``sim``.  ``retry`` and ``injector``
-    apply to every backend.
+    ``sanitize`` only affect ``sim``.  ``retry``, ``injector``, and
+    ``engine`` (the finish-kernel implementation) apply to every
+    backend.
     """
     if name == "serial":
-        return SerialBackend(dag, retry=retry, injector=injector)
+        return SerialBackend(dag, retry=retry, injector=injector, engine=engine)
     if name == "process":
-        return ProcessBackend(dag, workers=workers, retry=retry, injector=injector)
+        return ProcessBackend(
+            dag, workers=workers, retry=retry, injector=injector, engine=engine
+        )
     if name == "sim":
         # The sim adapter lives in the mpi layer; imported lazily so
         # repro.parallel itself never depends on repro.mpi.
@@ -556,5 +601,6 @@ def create_backend(
             sanitize=sanitize,
             retry=retry,
             injector=injector,
+            engine=engine,
         )
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -4,23 +4,38 @@ import json
 
 from repro.bench.finish_bench import (
     SCHEMA,
+    SPARSE_GATE_MIN_NODES,
     FinishBenchRecord,
     FinishBenchReport,
     process_gate_enforced,
     regression_failures,
+    sparse_regression_failures,
 )
 
 
-def record(dataset="D1", backend="serial", partitions=4, stage_s=1.0):
+def record(
+    dataset="D1",
+    backend="serial",
+    partitions=4,
+    stage_s=1.0,
+    engine="loop",
+    n_nodes=200,
+    trim_s=None,
+):
     return FinishBenchRecord(
         dataset=dataset,
         backend=backend,
         partitions=partitions,
         stage_s=stage_s,
         time_kind="virtual" if backend == "sim" else "wall",
-        stages={"transitive": stage_s},
+        stages={
+            "transitive": stage_s,
+            "trim_total": stage_s if trim_s is None else trim_s,
+        },
         n_contigs=10,
         n50=1000,
+        engine=engine,
+        n_nodes=n_nodes,
     )
 
 
@@ -68,6 +83,45 @@ class TestRegressionFailures:
     def test_missing_serial_baseline_ignored(self):
         assert regression_failures([record(backend="process", stage_s=9.0)]) == []
 
+    def test_comparison_is_within_engine(self):
+        # Sparse process vs LOOP serial must not cross-compare.
+        records = [
+            record(backend="serial", engine="loop", stage_s=1.0),
+            record(backend="serial", engine="sparse", stage_s=5.0),
+            record(backend="process", engine="sparse", stage_s=4.0),
+        ]
+        assert regression_failures(records) == []
+
+
+class TestSparseRegressionFailures:
+    def test_sparse_slower_flagged_at_scale(self):
+        records = [
+            record(dataset="S5", engine="loop", n_nodes=20000, trim_s=2.0),
+            record(dataset="S5", engine="sparse", n_nodes=20000, trim_s=3.0),
+        ]
+        failures = sparse_regression_failures(records)
+        assert len(failures) == 1
+        assert "sparse" in failures[0] and "loop" in failures[0]
+
+    def test_sparse_faster_passes(self):
+        records = [
+            record(dataset="S5", engine="loop", n_nodes=20000, trim_s=3.0),
+            record(dataset="S5", engine="sparse", n_nodes=20000, trim_s=1.0),
+        ]
+        assert sparse_regression_failures(records) == []
+
+    def test_small_graphs_ungated(self):
+        small = SPARSE_GATE_MIN_NODES - 1
+        records = [
+            record(engine="loop", n_nodes=small, trim_s=1.0),
+            record(engine="sparse", n_nodes=small, trim_s=9.0),
+        ]
+        assert sparse_regression_failures(records) == []
+
+    def test_missing_loop_baseline_ignored(self):
+        records = [record(engine="sparse", n_nodes=20000, trim_s=9.0)]
+        assert sparse_regression_failures(records) == []
+
 
 class TestReport:
     def test_json_schema_and_roundtrip(self):
@@ -79,15 +133,39 @@ class TestReport:
         assert payload["schema"] == SCHEMA
         assert payload["metadata"]["process_gate_enforced"] is False
         assert len(payload["results"]) == 2
-        assert payload["results"][0]["stages"] == {"transitive": 1.0}
+        assert payload["results"][0]["stages"]["transitive"] == 1.0
+        assert payload["results"][0]["engine"] == "loop"
 
-    def test_summary_table_reports_speedup_vs_serial(self):
+    def test_engine_speedups_pair_loop_with_sparse(self):
         report = FinishBenchReport(
-            records=[record(stage_s=2.0), record(backend="process", stage_s=1.0)]
+            records=[
+                record(engine="loop", stage_s=2.0, trim_s=2.0),
+                record(engine="sparse", stage_s=0.5, trim_s=0.5),
+            ]
+        )
+        payload = json.loads(report.to_json())
+        rows = payload["engine_speedups"]
+        assert rows, "both engines present must yield speedup rows"
+        by_stage = {row["stage"]: row for row in rows}
+        assert by_stage["trim_total"]["speedup"] == 4.0
+        assert by_stage["transitive"]["loop_s"] == 2.0
+
+    def test_engine_speedups_empty_without_sparse_rows(self):
+        report = FinishBenchReport(records=[record(engine="loop")])
+        assert report.engine_speedups() == []
+
+    def test_summary_table_reports_speedups(self):
+        report = FinishBenchReport(
+            records=[
+                record(stage_s=2.0, trim_s=2.0),
+                record(backend="process", stage_s=1.0),
+                record(engine="sparse", stage_s=0.5, trim_s=0.5),
+            ]
         )
         table = report.summary_table()
-        assert "2.00x" in table
-        assert "process" in table and "serial" in table
+        assert "2.00x" in table  # process vs serial, same engine
+        assert "4.00x" in table  # sparse trim vs loop trim
+        assert "Engine" in table and "sparse" in table
 
     def test_write(self, tmp_path):
         path = tmp_path / "bench.json"
@@ -107,9 +185,37 @@ class TestCheckedInTrajectory:
         assert payload["results"], "trajectory must not be empty"
         backends = {r["backend"] for r in payload["results"]}
         assert backends == {"serial", "sim", "process"}
-        records = [
-            FinishBenchRecord(**r) for r in payload["results"]
-        ]
-        # The gate that produced the file: enforced only on multi-core.
+        engines = {r["engine"] for r in payload["results"]}
+        assert engines == {"loop", "sparse"}
+        records = [FinishBenchRecord(**r) for r in payload["results"]]
+        # The gates that produced the file: process gate only on
+        # multi-core; the sparse gate is unconditional.
         if process_gate_enforced(payload["metadata"]["cpu_count"]):
             assert regression_failures(records) == []
+        assert sparse_regression_failures(records) == []
+        assert payload["engine_speedups"], "speedup rows must be present"
+
+    def test_checked_in_file_shows_scale_speedup(self):
+        """The engine's reason to exist: >=5x trimming at scale."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_finish.json"
+        payload = json.loads(path.read_text())
+        at_scale = [
+            r
+            for r in payload["results"]
+            if r["n_nodes"] >= SPARSE_GATE_MIN_NODES
+        ]
+        assert at_scale, "trajectory must include a finish-scale dataset"
+        largest = max(r["n_nodes"] for r in at_scale)
+        trims = {
+            (r["partitions"], r["engine"]): r["stages"]["trim_total"]
+            for r in at_scale
+            if r["n_nodes"] == largest and r["backend"] == "serial"
+        }
+        speedups = [
+            trims[(k, "loop")] / trims[(k, "sparse")]
+            for (k, eng) in trims
+            if eng == "loop" and trims.get((k, "sparse"))
+        ]
+        assert speedups and max(speedups) >= 5.0

@@ -1,0 +1,187 @@
+"""Property tests: loop and sparse finish kernels propose identical sets.
+
+The sparse engine's whole contract (docs/performance.md) is that it is
+a *drop-in* for the scalar reference: for any graph, any alive-mask
+state, and any partitioning, each stage's sparse kernel must propose
+exactly the removals the loop kernel proposes.  Hypothesis drives the
+four kernel pairs over randomized genome-sliced assemblies with random
+dead nodes/edges; a chaos smoke then proves fault injection composes
+with the sparse engine end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AssemblyConfig
+from repro.core.focus import FocusAssembler
+from repro.distributed.containment import containment_kernel, containment_sparse_kernel
+from repro.distributed.transitive import transitive_kernel, transitive_sparse_kernel
+from repro.distributed.trimming import (
+    bubble_kernel,
+    bubble_sparse_kernel,
+    dead_end_kernel,
+    dead_end_sparse_kernel,
+)
+from repro.faults import FaultPlan, KernelFault, RetryPolicy
+from repro.parallel.backend import BACKEND_NAMES
+from repro.simulate.genome import random_genome
+
+from tests.distributed.conftest import dag_of, make_assembly
+
+GENOME_LEN = 400
+
+
+@st.composite
+def masked_dags(draw):
+    """A random genome-sliced assembly with random masks and labels.
+
+    Contigs are true slices of one genome and edge deltas are the true
+    offset differences (with occasional jitter), so transitive chains,
+    containments, tips, and bubbles all actually occur; random kill
+    masks then exercise the kernels' alive-filtering paths.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n = draw(st.integers(min_value=2, max_value=24))
+    rng = np.random.default_rng(seed)
+    genome = random_genome(GENOME_LEN, rng)
+    lengths = rng.integers(20, 121, size=n)
+    offsets = rng.integers(0, GENOME_LEN - 120, size=n)
+    contigs = [genome[o : o + ln] for o, ln in zip(offsets, lengths)]
+
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            lo = max(offsets[u], offsets[v])
+            hi = min(offsets[u] + lengths[u], offsets[v] + lengths[v])
+            if hi - lo <= 0 or rng.random() < 0.4:
+                continue
+            jitter = int(rng.integers(-3, 4)) if rng.random() < 0.2 else 0
+            edges.append((u, v, int(offsets[v] - offsets[u]) + jitter))
+    assembly = make_assembly(contigs, edges)
+
+    k = draw(st.sampled_from([1, 2, 4]))
+    dag = dag_of(assembly, rng.integers(0, k, size=n))
+    dag.node_alive &= rng.random(n) > 0.1
+    dag.edge_alive &= rng.random(assembly.graph.eu.size) > 0.1
+    return dag
+
+
+def assert_same_proposals(dag, loop_kernel, sparse_kernel, **params):
+    # Set equality: the loop kernels may propose an id twice (seen
+    # from two anchors of one partition); union_proposals dedups at
+    # merge time, so duplicates are not an observable difference.
+    for part in range(dag.n_parts):
+        got_loop = loop_kernel(dag, part, **params)
+        got_sparse = sparse_kernel(dag, part, **params)
+        if not isinstance(got_loop, tuple):
+            got_loop, got_sparse = (got_loop,), (got_sparse,)
+        for a, b in zip(got_loop, got_sparse):
+            np.testing.assert_array_equal(np.unique(a), np.unique(b))
+
+
+class TestKernelEquivalence:
+    @given(dag=masked_dags(), tolerance=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_transitive(self, dag, tolerance):
+        assert_same_proposals(
+            dag, transitive_kernel, transitive_sparse_kernel, tolerance=tolerance
+        )
+
+    @given(
+        dag=masked_dags(),
+        min_overlap=st.integers(min_value=1, max_value=80),
+        min_identity=st.floats(min_value=0.5, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_containment(self, dag, min_overlap, min_identity):
+        assert_same_proposals(
+            dag,
+            containment_kernel,
+            containment_sparse_kernel,
+            min_overlap=min_overlap,
+            min_identity=min_identity,
+        )
+
+    @given(dag=masked_dags(), max_tip_bases=st.integers(min_value=20, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_dead_ends(self, dag, max_tip_bases):
+        assert_same_proposals(
+            dag, dead_end_kernel, dead_end_sparse_kernel, max_tip_bases=max_tip_bases
+        )
+
+    @given(dag=masked_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_bubbles(self, dag):
+        assert_same_proposals(dag, bubble_kernel, bubble_sparse_kernel)
+
+
+class TestSparseChaosSmoke:
+    """Fault injection composes with the sparse engine: the faulted
+    sparse run on every backend recovers contigs byte-identical to the
+    fault-free loop run."""
+
+    PLAN = FaultPlan(
+        kernel_faults=(
+            KernelFault("error", "transitive", 0),
+            KernelFault("crash", "bubbles", 1),
+        ),
+        hang_seconds=0.5,
+    )
+    POLICY = RetryPolicy(
+        max_attempts=3, backoff_base=0.0, backoff_cap=0.0, task_deadline=5.0
+    )
+
+    @pytest.fixture(scope="class")
+    def prep_and_baseline(self):
+        from repro.simulate.genome import Genome
+        from repro.simulate.reads import ReadSimConfig, ReadSimulator
+
+        g = Genome("g", random_genome(5000, np.random.default_rng(11)))
+        reads = ReadSimulator(
+            ReadSimConfig(read_length=100, coverage=10, seed=11)
+        ).simulate_genome(g)
+        assembler = FocusAssembler(AssemblyConfig(backend_workers=2))
+        prep = assembler.prepare(reads)
+        baseline = assembler.finish(
+            prep, n_partitions=4, backend="serial", engine="loop"
+        )
+        return prep, sorted(c.tobytes() for c in baseline.contigs)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_faulted_sparse_matches_loop_baseline(self, prep_and_baseline, backend):
+        prep, baseline = prep_and_baseline
+        chaos = FocusAssembler(
+            AssemblyConfig(
+                backend_workers=2,
+                retry=self.POLICY,
+                fault_plan=self.PLAN,
+                finish_engine="sparse",
+            )
+        )
+        result = chaos.finish(prep, n_partitions=4, backend=backend)
+        assert sorted(c.tobytes() for c in result.contigs) == baseline, backend
+        assert result.engine == "sparse"
+        report = result.fault_report
+        assert report is not None and report.total_injected >= 1
+
+
+@pytest.mark.slow
+class TestEngineMatrixSlow:
+    """Exhaustive backend x engine byte-identity on a larger assembly."""
+
+    def test_all_cells_agree(self):
+        from repro.bench.datasets import FinishScaleSpec, build_finish_assembly
+        from repro.bench.finish_bench import _contig_key, _run_scale_cell
+
+        scale = build_finish_assembly(
+            FinishScaleSpec(name="Sslow", backbone=4000, seed=77)
+        )
+        labels = scale.labels(8)
+        keys = []
+        for backend in BACKEND_NAMES:
+            for engine in ("loop", "sparse"):
+                _, _, contigs = _run_scale_cell(scale, labels, backend, engine, 0)
+                keys.append(_contig_key(contigs))
+        assert all(key == keys[0] for key in keys[1:])

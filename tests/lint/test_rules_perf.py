@@ -174,3 +174,59 @@ class TestPERF002ScalarizedHotLoop:
             """
         )
         assert fs == []
+
+
+SPARSE_SCALARIZED = """
+def find_transitive_edges_sparse(dag, nodes):
+    out = []
+    for v in nodes.tolist():
+        out.append(v)
+    return out
+"""
+
+
+class TestPERF002SparseEngineScope:
+    """The finish-engine hot paths are policed like the align engine."""
+
+    def test_sparse_function_in_distributed_flagged(self):
+        fs = perf2_findings(
+            SPARSE_SCALARIZED, path="src/repro/distributed/transitive.py"
+        )
+        assert len(fs) == 1
+        assert fs[0].rule == "PERF002"
+
+    def test_loop_reference_kernel_in_distributed_clean(self):
+        # The scalar reference kernels are the readable spec — exempt.
+        fs = perf2_findings(
+            """
+            def find_transitive_edges(dag, nodes):
+                out = []
+                for v in nodes.tolist():
+                    out.append(v)
+                return out
+            """,
+            path="src/repro/distributed/transitive.py",
+        )
+        assert fs == []
+
+    def test_any_function_in_sparse_module_flagged(self):
+        fs = perf2_findings(
+            """
+            def ragged_positions(starts, counts):
+                for s in starts.tolist():
+                    yield s
+            """,
+            path="src/repro/graph/sparse.py",
+        )
+        assert len(fs) == 1
+
+    def test_sparse_noqa_still_suppresses(self):
+        fs = perf2_findings(
+            """
+            def boolean_product_keys_sparse(rows):
+                for r in rows.tolist():  # noqa: PERF002 - numpy fallback
+                    yield r
+            """,
+            path="src/repro/graph/sparse.py",
+        )
+        assert fs == []
