@@ -294,15 +294,17 @@ class OverlapDetector:
         """Ungapped identity of many spans in one flat numpy pass.
 
         Gathers both sides of every span into two flat arrays via the
-        CSR offsets, compares elementwise, and segment-sums the matches
-        with a cumulative-sum difference (no ``reduceat`` dtype traps).
+        CSR offsets (through :meth:`ReadSet.gather_bases`, so a
+        shard-backed set serves the gather per shard), compares
+        elementwise, and segment-sums the matches with a
+        cumulative-sum difference (no ``reduceat`` dtype traps).
         """
         total = int(length.sum())
         seg_starts = np.cumsum(length) - length
         within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, length)
         q_flat = np.repeat(abs_q_start, length) + within
         r_flat = np.repeat(abs_r_start, length) + within
-        eq = reads.data[q_flat] == reads.data[r_flat]
+        eq = reads.gather_bases(q_flat) == reads.gather_bases(r_flat)
         cum = np.zeros(total + 1, dtype=np.int64)
         np.cumsum(eq, out=cum[1:])
         matches = cum[seg_starts + length] - cum[seg_starts]
@@ -351,8 +353,8 @@ class OverlapDetector:
                 zip(abs_q.tolist(), abs_r.tolist(), length.tolist())
             ):
                 result = banded_align(
-                    reads.data[lo_q : lo_q + ln],
-                    reads.data[lo_r : lo_r + ln],
+                    reads.base_span(lo_q, ln),
+                    reads.base_span(lo_r, ln),
                     band=cfg.band,
                 )
                 identity[c] = result.identity

@@ -37,6 +37,10 @@ __all__ = [
     "FINISH_SCALE_SPECS",
     "build_finish_assembly",
     "finish_scale_assemblies",
+    "SCALE_SWEEP_SPECS",
+    "SCALE_EQUIVALENCE_SPEC",
+    "iter_scale_reads",
+    "build_scale_read_store",
 ]
 
 
@@ -270,3 +274,82 @@ def _cached_scale(index: int) -> FinishScaleAssembly:
 def finish_scale_assemblies() -> list[FinishScaleAssembly]:
     """S4-S5, cached per process so benches share the build cost."""
     return [_cached_scale(i) for i in range(len(FINISH_SCALE_SPECS))]
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core scale reads (``repro bench scale``)
+# ---------------------------------------------------------------------------
+
+#: the ``bench scale`` sweep: the S4/S5 scale points plus a
+#: 10^6-read-equivalent S6 genome (~12.5 Mbp at 8x / 100 bp).
+SCALE_SWEEP_SPECS: tuple[FinishScaleSpec, ...] = (
+    FINISH_SCALE_SPECS[0],
+    FINISH_SCALE_SPECS[1],
+    FinishScaleSpec(name="S6", backbone=208_000, seed=606),
+)
+
+#: small spec for the in-RAM-vs-sharded full-assembly equivalence gate
+#: (~1.4k reads — large enough to produce real contigs, small enough
+#: to assemble on all three backends inside the bench).
+SCALE_EQUIVALENCE_SPEC = FinishScaleSpec(name="SE", backbone=300, seed=808)
+
+
+def iter_scale_reads(spec: FinishScaleSpec, chunk: int = 4096, error_rate: float = 0.005):
+    """Stream D-style shotgun reads of a scale spec, never all at once.
+
+    Yields ``spec.read_equivalent`` reads sampled uniformly from the
+    spec's random genome (random strand, flat substitution-error rate,
+    no quality strings), in chunks of vectorized numpy work — peak
+    memory is O(genome + chunk), independent of the read count.  Feed
+    the generator to :func:`repro.store.pack_reads` (or use
+    :func:`build_scale_read_store`) so scale datasets go straight to
+    disk instead of materializing a full read list in RAM.
+    """
+    from repro.io.records import Read
+    from repro.sequence.dna import reverse_complement
+
+    rng = np.random.default_rng(spec.seed)
+    genome = random_genome(spec.genome_length, rng)
+    total = spec.read_equivalent
+    L = spec.read_length
+    made = 0
+    while made < total:
+        n = min(chunk, total - made)
+        starts = rng.integers(0, genome.size - L + 1, size=n)
+        strands = rng.integers(0, 2, size=n)
+        frags = genome[starts[:, None] + np.arange(L)[None, :]]
+        hit = rng.random(frags.shape) < error_rate
+        n_hit = int(hit.sum())
+        if n_hit:
+            frags = frags.copy()
+            frags[hit] = (frags[hit] + rng.integers(1, 4, size=n_hit)) % 4
+        for r in range(n):
+            codes = frags[r]
+            if strands[r]:
+                codes = reverse_complement(codes)
+            yield Read(f"{spec.name}:{made + r}", np.ascontiguousarray(codes))
+        made += n
+
+
+def build_scale_read_store(
+    spec: FinishScaleSpec,
+    path,
+    shard_size: int = 4096,
+    resume: bool = False,
+):
+    """Pack a scale spec's synthetic reads into a sharded store.
+
+    Returns the store manifest.  Read synthesis is routed through
+    :func:`iter_scale_reads` + :func:`repro.store.pack_reads`, so at no
+    point does the full read array exist in memory — the sweep's 10^6+
+    read equivalents stream genome → chunk → shard file.
+    """
+    from repro.store import pack_reads
+
+    return pack_reads(
+        iter_scale_reads(spec),
+        path,
+        shard_size=shard_size,
+        resume=resume,
+        meta={"spec": spec.name, "read_equivalent": spec.read_equivalent},
+    )

@@ -6,6 +6,8 @@ Usage examples::
     python -m repro simulate-reads --genome genome.fasta --coverage 12 -o reads.fastq
     python -m repro simulate-community --seed 7 --coverage 8 -o reads.fastq --refs refs.fasta
     python -m repro overlap reads.fastq -o overlaps.tsv --workers 4
+    python -m repro pack reads.fastq -o reads.store --shard-size 4096
+    python -m repro assemble --store reads.store -o contigs.fasta
     python -m repro assemble reads.fastq -o contigs.fasta --partitions 4 --workers 4
     python -m repro assemble reads.fastq -o contigs.fasta --backend process --timings t.json
     python -m repro assemble reads.fastq -o contigs.fasta --checkpoint ckpt.npz --resume
@@ -13,6 +15,7 @@ Usage examples::
     python -m repro bench overlap -o BENCH_overlap.json
     python -m repro bench finish -o BENCH_finish.json
     python -m repro bench chaos -o BENCH_chaos.json
+    python -m repro bench scale -o BENCH_scale.json --datasets S4 S5
     python -m repro stats contigs.fasta
 """
 
@@ -68,8 +71,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--refs", help="also write the reference genomes to this FASTA")
 
+    p = sub.add_parser(
+        "pack", help="pack a FASTA/FASTQ read set into a sharded store"
+    )
+    p.add_argument("reads", help="FASTA/FASTQ read set")
+    p.add_argument("-o", "--output", required=True, help="store directory")
+    p.add_argument(
+        "--shard-size", type=int, default=4096, help="reads per shard"
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse intact shards from an interrupted pack of the same input",
+    )
+
     p = sub.add_parser("assemble", help="assemble a FASTA/FASTQ read set")
-    p.add_argument("reads")
+    p.add_argument(
+        "reads", nargs="?", help="FASTA/FASTQ read set (omit with --store)"
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        help="assemble from a sharded read store (``repro pack``) instead "
+        "of an in-RAM read file; peak memory stays O(cache budget)",
+    )
+    p.add_argument(
+        "--cache-budget-mb",
+        type=int,
+        default=64,
+        help="LRU shard-cache byte budget for --store, in MiB",
+    )
     p.add_argument("-o", "--output", required=True, help="contigs FASTA")
     p.add_argument("--partitions", type=int, default=4)
     p.add_argument("--mode", choices=("hybrid", "multilevel"), default="hybrid")
@@ -264,6 +295,43 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--partitions", type=int, default=4, help="partition count (power of two)"
     )
+    b = bench_sub.add_parser(
+        "scale",
+        help="out-of-core sweep: pack + stream 10^4-10^6 read equivalents",
+        description=(
+            "Stream-synthesizes the S4/S5/S6 scale datasets (10^4 to "
+            "10^6 read equivalents) into sharded stores, runs a "
+            "shard-pair-wise k-mer scan over each with a bounded LRU "
+            "cache, and assembles the small SE dataset from the store "
+            "and from RAM on every backend.  Writes the trajectory "
+            "JSON with per-cell wall time, tracked allocation peak, "
+            "and RSS high-water mark.  Exits 1 if any stream cell's "
+            "tracked peak exceeds the cache budget plus slack, 2 if "
+            "sharded and in-RAM contigs differ anywhere."
+        ),
+    )
+    b.add_argument(
+        "-o", "--output", default="BENCH_scale.json", help="trajectory JSON path"
+    )
+    b.add_argument(
+        "--datasets",
+        nargs="*",
+        help="subset of scale dataset names to run (default: S4 S5 S6)",
+    )
+    b.add_argument(
+        "--shard-size", type=int, default=4096, help="reads per shard"
+    )
+    b.add_argument(
+        "--cache-budget-mb",
+        type=int,
+        default=64,
+        help="LRU shard-cache byte budget, in MiB (the memory ceiling)",
+    )
+    b.add_argument(
+        "--skip-equivalence",
+        action="store_true",
+        help="skip the in-RAM-vs-sharded assembly equivalence cell",
+    )
 
     p = sub.add_parser(
         "lint",
@@ -276,8 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
             "scalarized-hot-loop, ARCH001 kernel-imports-mpi, plus the "
             "whole-program rules PURE001 kernel-mutates-state, PURE002 "
             "kernel-reaches-nondeterminism, and ARCH002 stage-contract "
-            "(interprocedural, resolved over the full call graph), and "
-            "ROB001 swallowed-exception.  "
+            "(interprocedural, resolved over the full call graph), "
+            "ROB001 swallowed-exception, and MEM001 "
+            "whole-store-materialization in partition kernels.  "
             "Suppress per line with `# noqa: RULEID`."
         ),
     )
@@ -393,12 +462,43 @@ def _parse_fault_plan(spec: str, stages: tuple[str, ...], n_parts: int):
         return FaultPlan.from_json(fh.read())
 
 
+def _cmd_pack(args) -> int:
+    from repro.store import pack_reads
+
+    records = (
+        parse_fastq(args.reads)
+        if args.reads.endswith((".fq", ".fastq"))
+        else parse_fasta(args.reads)
+    )
+    manifest = pack_reads(
+        records,
+        args.output,
+        shard_size=args.shard_size,
+        resume=args.resume,
+        meta={"source": args.reads},
+    )
+    print(
+        f"packed {manifest.n_records:,} reads into {manifest.n_shards} "
+        f"shards at {args.output}"
+    )
+    return 0
+
+
 def _cmd_assemble(args) -> int:
     from repro.align.overlapper import OverlapConfig
     from repro.distributed.stages import all_stages
     from repro.faults import RetryPolicy
 
-    reads = _load_reads(args.reads)
+    if args.store and args.reads:
+        print("error: pass a reads file or --store, not both", file=sys.stderr)
+        return 1
+    if args.store:
+        reads = ReadSet.open(args.store, cache_budget=args.cache_budget_mb << 20)
+    elif args.reads:
+        reads = _load_reads(args.reads)
+    else:
+        print("error: a reads file or --store is required", file=sys.stderr)
+        return 1
     if len(reads) == 0:
         print("error: no reads in input", file=sys.stderr)
         return 1
@@ -426,6 +526,8 @@ def _cmd_assemble(args) -> int:
         finish_engine=args.finish_engine,
         retry=retry,
         fault_plan=fault_plan,
+        store_path=args.store,
+        cache_budget=args.cache_budget_mb << 20,
         seed=args.seed,
     )
     assembler = FocusAssembler(config)
@@ -537,6 +639,16 @@ def _cmd_bench(args) -> int:
             seeds=tuple(args.seeds),
             n_partitions=args.partitions,
         )
+    if args.bench_command == "scale":
+        from repro.bench.scale_bench import main as bench_scale_main
+
+        return bench_scale_main(
+            output=args.output,
+            dataset_names=args.datasets,
+            shard_size=args.shard_size,
+            cache_budget=args.cache_budget_mb << 20,
+            skip_equivalence=args.skip_equivalence,
+        )
     raise AssertionError(f"unknown bench command {args.bench_command!r}")
 
 
@@ -576,6 +688,7 @@ _COMMANDS = {
     "simulate-genome": _cmd_simulate_genome,
     "simulate-reads": _cmd_simulate_reads,
     "simulate-community": _cmd_simulate_community,
+    "pack": _cmd_pack,
     "assemble": _cmd_assemble,
     "overlap": _cmd_overlap,
     "stats": _cmd_stats,

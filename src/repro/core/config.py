@@ -71,6 +71,17 @@ class AssemblyConfig:
     #: weight consensus votes by Phred base quality.
     quality_weighted_consensus: bool = False
 
+    # -- out-of-core storage (docs/architecture.md, storage layer) --
+    #: path of a sharded reads store (``repro pack``).  When set and no
+    #: in-RAM reads are passed to :meth:`FocusAssembler.assemble`, the
+    #: pipeline streams the store shard by shard.
+    store_path: str | None = None
+    #: reads per shard when packing stores from this config.
+    shard_size: int = 4096
+    #: LRU shard-cache byte budget of shard-backed read sets — the
+    #: memory ceiling of the streaming data path (64 MiB default).
+    cache_budget: int = 64 * 1024 * 1024
+
     # -- partitioning --
     #: number of graph partitions (k = 2^i).
     n_partitions: int = 4
@@ -101,5 +112,9 @@ class AssemblyConfig:
             raise ValueError("backend_workers must be non-negative")
         if self.finish_engine not in ("loop", "sparse"):
             raise ValueError(f"unknown finish_engine {self.finish_engine!r}")
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be positive")
+        if self.cache_budget < 0:
+            raise ValueError("cache_budget must be non-negative")
         if self.retry.max_attempts < 1:
             raise ValueError("retry.max_attempts must be >= 1")

@@ -213,10 +213,17 @@ class FocusAssembler:
 
     def _fingerprint(self, prep: PreparedAssembly, k: int, mode: str) -> dict:
         """Run identity recorded in checkpoints: a resume against a
-        checkpoint from a different input or configuration is refused."""
+        checkpoint from a different input or configuration is refused.
+
+        For shard-backed reads the store manifest digest is included
+        (``store``), so resuming against a store whose shards changed
+        underneath the checkpoint is refused too; in-RAM read sets
+        record ``None``.
+        """
         cfg = self.config
         return {
             "n_reads": len(prep.reads),
+            "store": getattr(prep.reads, "store_fingerprint", None),
             "n_hybrid_nodes": int(prep.hyb.hybrid.n_nodes),
             "n_partitions": int(k),
             "partition_mode": mode,
@@ -406,6 +413,20 @@ class FocusAssembler:
             engine=engine_name,
         )
 
-    def assemble(self, reads: ReadSet) -> AssemblyResult:
-        """prepare + finish in one call."""
+    def open_reads(self) -> ReadSet:
+        """Open the configured sharded store as a lazy ReadSet."""
+        cfg = self.config
+        if cfg.store_path is None:
+            raise ValueError("config.store_path is not set")
+        return ReadSet.open(cfg.store_path, cache_budget=cfg.cache_budget)
+
+    def assemble(self, reads: ReadSet | None = None) -> AssemblyResult:
+        """prepare + finish in one call.
+
+        With ``reads=None`` the configured ``store_path`` is opened as
+        a shard-backed ReadSet and the whole pipeline streams from it —
+        contigs are byte-identical to the in-RAM path on every backend.
+        """
+        if reads is None:
+            reads = self.open_reads()
         return self.finish(self.prepare(reads))

@@ -75,6 +75,22 @@ class ReadSet:
         """Convenience constructor for tests: numbered reads from strings."""
         return cls(Read.from_string(f"{prefix}{i}", s) for i, s in enumerate(seqs))
 
+    @classmethod
+    def open(cls, path, cache_budget: int | None = None) -> "ReadSet":
+        """Open a sharded reads store as a lazy, shard-backed ReadSet.
+
+        The returned set streams base codes, qualities, and packed
+        k-mers one shard at a time through an LRU cache bounded by
+        ``cache_budget`` bytes (default: the store layer's 64 MiB), so
+        peak memory is O(shard), not O(reads).  Build the store with
+        ``repro pack`` or :func:`repro.store.pack_reads`.
+        """
+        from repro.store.reads import ShardedReadSet
+        from repro.store.sharded import DEFAULT_CACHE_BUDGET
+
+        budget = DEFAULT_CACHE_BUDGET if cache_budget is None else int(cache_budget)
+        return ShardedReadSet(path, cache_budget=budget)
+
     # -- basic protocol ---------------------------------------------------
 
     def __len__(self) -> int:
@@ -112,6 +128,20 @@ class ReadSet:
     @property
     def total_bases(self) -> int:
         return int(self.offsets[-1])
+
+    # -- flat-position access ---------------------------------------------
+    # The vectorized overlap engine addresses bases by absolute position
+    # in the concatenated code array.  These two primitives are the only
+    # way it touches the bases, so the shard-backed subclass can serve
+    # them from per-shard arrays instead of one whole-set array.
+
+    def gather_bases(self, flat: np.ndarray) -> np.ndarray:
+        """Base codes at the given absolute positions of :attr:`data`."""
+        return self.data[flat]
+
+    def base_span(self, lo: int, length: int) -> np.ndarray:
+        """Contiguous base codes ``data[lo : lo + length]`` (one read)."""
+        return self.data[lo : lo + length]
 
     # -- k-mer code cache -------------------------------------------------
 

@@ -37,6 +37,8 @@ from repro.io.readset import ReadSet
 from repro.io.records import Read
 
 __all__ = [
+    "atomic_savez",
+    "fsync_dir",
     "save_graph",
     "load_graph",
     "save_readset",
@@ -75,14 +77,38 @@ _CHECKPOINT_KEYS = (
 )
 
 
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a completed ``os.replace`` survives power loss.
+
+    ``os.replace`` makes the rename atomic with respect to crashes of
+    this process, but the *directory entry* itself lives in the parent
+    directory's data — until that is flushed, a power loss can roll the
+    rename back.  Platforms whose directories cannot be opened or
+    fsynced (some network filesystems, Windows) are silently skipped:
+    the write is still atomic, just not power-loss durable.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_savez(dest, compressed: bool = True, **arrays) -> None:
     """Write an ``.npz`` archive atomically (temp file + ``os.replace``).
 
     File-like destinations are written directly (the caller owns their
     durability); for paths the archive is fully written and flushed to
     a sibling temporary file first, so a crash at any point leaves the
-    previous archive intact.  Mimics numpy's extension behavior: a
-    path without ``.npz`` gets it appended.
+    previous archive intact, and the containing directory is fsynced
+    after the rename so the new name survives power loss.  Mimics
+    numpy's extension behavior: a path without ``.npz`` gets it
+    appended.
     """
     writer = np.savez_compressed if compressed else np.savez
     if not isinstance(dest, (str, Path)):
@@ -98,10 +124,17 @@ def _atomic_savez(dest, compressed: bool = True, **arrays) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, final)
+        fsync_dir(os.path.dirname(final) or ".")
     except BaseException:
         with suppress(OSError):
             os.remove(tmp)
         raise
+
+
+#: public name of the atomic archive writer — the sharded store layer
+#: (:mod:`repro.store`) persists its shard files through the same
+#: crash-safe path the stage checkpoints use.
+atomic_savez = _atomic_savez
 
 
 @contextmanager

@@ -3,6 +3,7 @@
 from repro.lint.rules import (  # noqa: F401 (registration side effect)
     arch,
     determinism,
+    memory,
     mpi,
     perf,
     protocol,

@@ -43,9 +43,17 @@ class ExecutorStats:
 
 
 def _init_worker(config, reads: ReadSet) -> None:
-    """Prime one worker process: detector + subset split, computed once."""
+    """Prime one worker process: detector + subset split, computed once.
+
+    A shard-backed ReadSet is re-opened by store path (``reopen``), so
+    the worker reads shards from disk through its own cold cache
+    instead of retaining the parent's mapped arrays or cache contents
+    inherited over ``fork`` — worker RSS stays O(cache budget).
+    """
     from repro.align.overlapper import OverlapDetector
 
+    if hasattr(reads, "reopen"):
+        reads = reads.reopen()
     _WORKER["detector"] = OverlapDetector(config)
     _WORKER["reads"] = reads
     _WORKER["subsets"] = reads.split(config.n_subsets)

@@ -87,13 +87,20 @@ def kmer_codes(codes: np.ndarray, k: int) -> np.ndarray:
     n = codes.size
     if n < k:
         return np.empty(0, dtype=np.int64)
-    windows = np.lib.stride_tricks.sliding_window_view(codes, k)
-    weights = (np.int64(1) << (2 * np.arange(k - 1, -1, -1, dtype=np.int64)))
-    values = windows.astype(np.int64) @ weights
-    has_n = (windows == N).any(axis=1)
-    if has_n.any():
-        values = values.copy()
-        values[has_n] = -1
+    # Horner accumulation over the k window positions: k passes of O(n)
+    # int64 work.  Peak memory is a few n-length arrays, where the
+    # sliding-window matmul formulation materialized an (n, k) int64
+    # matrix — the difference between O(shard) and O(shard * k)
+    # transients on the out-of-core streaming path.
+    n_windows = n - k + 1
+    values = np.zeros(n_windows, dtype=np.int64)
+    has_n = np.zeros(n_windows, dtype=bool)
+    for j in range(k):
+        col = codes[j : j + n_windows]
+        np.left_shift(values, 2, out=values)
+        values |= col  # N codes pollute bits; their windows become -1 below
+        has_n |= col == N
+    values[has_n] = -1
     return values
 
 

@@ -1,0 +1,123 @@
+"""Sharded PackedOverlaps columns: the overlap list, out of core.
+
+The vectorized overlap engine already speaks
+:class:`~repro.align.overlap.PackedOverlaps` — seven parallel numpy
+columns per batch.  This module shards those columns to disk so the
+full overlap list of a 10^6+-read run never has to live in RAM at
+once: :func:`pack_overlaps` appends batches as they are produced (one
+work unit at a time), and :class:`ShardedOverlaps` streams them back
+shard by shard through the common LRU cache.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.align.overlap import PackedOverlaps
+from repro.store.manifest import StoreManifest
+from repro.store.sharded import DEFAULT_CACHE_BUDGET, ShardedStore, ShardWriter
+
+__all__ = ["OVERLAPS_KIND", "pack_overlaps", "ShardedOverlaps"]
+
+OVERLAPS_KIND = "overlaps"
+
+_COLUMNS = ("query", "ref", "q_start", "r_start", "length", "identity", "kind_code")
+
+
+def _chunk(batch: PackedOverlaps, lo: int, hi: int) -> dict:
+    return {
+        name: np.ascontiguousarray(getattr(batch, name)[lo:hi])
+        for name in _COLUMNS
+    }
+
+
+def pack_overlaps(
+    batches: Iterable[PackedOverlaps],
+    path: str | Path,
+    shard_size: int = 1 << 16,
+    compressed: bool = False,
+    resume: bool = False,
+    meta: dict | None = None,
+) -> StoreManifest:
+    """Stream PackedOverlaps batches into fixed-capacity column shards.
+
+    Batches may be any size; rows are re-chunked to ``shard_size`` per
+    shard, holding at most one shard of pending rows in memory.
+    """
+    writer = ShardWriter(
+        path, OVERLAPS_KIND, shard_size, compressed=compressed, resume=resume
+    )
+    pending: list[dict] = []
+    pending_rows = 0
+    total_rows = 0
+
+    def flush(rows: int) -> None:
+        nonlocal pending, pending_rows
+        if rows == 0:
+            return
+        arrays = {
+            name: np.concatenate([p[name] for p in pending])
+            if pending
+            else np.empty(0)
+            for name in _COLUMNS
+        }
+        writer.write_shard(arrays, rows)
+        pending = []
+        pending_rows = 0
+
+    for batch in batches:
+        lo = 0
+        n = len(batch)
+        while lo < n:
+            take = min(n - lo, shard_size - pending_rows)
+            pending.append(_chunk(batch, lo, lo + take))
+            pending_rows += take
+            total_rows += take
+            lo += take
+            if pending_rows >= shard_size:
+                flush(pending_rows)
+    flush(pending_rows)
+
+    store_meta = {"n_overlaps": total_rows}
+    if meta:
+        store_meta.update(meta)
+    return writer.finalize(store_meta)
+
+
+class ShardedOverlaps:
+    """Stream a sharded overlap store back as PackedOverlaps batches."""
+
+    def __init__(
+        self, path: str | Path, cache_budget: int = DEFAULT_CACHE_BUDGET
+    ) -> None:
+        self.store = ShardedStore(path, kind=OVERLAPS_KIND, cache_budget=cache_budget)
+
+    def __len__(self) -> int:
+        return self.store.n_records
+
+    @property
+    def n_shards(self) -> int:
+        return self.store.n_shards
+
+    def shard_batch(self, index: int) -> PackedOverlaps:
+        arrays = self.store.shard(index)
+        return PackedOverlaps(**{name: arrays[name] for name in _COLUMNS})
+
+    def iter_batches(self) -> Iterator[PackedOverlaps]:
+        for index in range(self.store.n_shards):
+            yield self.shard_batch(index)
+
+    def to_packed(self) -> PackedOverlaps:
+        """Whole-store materialization (avoid inside kernels — MEM001)."""
+        if self.store.n_shards == 0:
+            return PackedOverlaps.empty()
+        shards = [self.store.load_shard(s) for s in range(self.store.n_shards)]
+        return PackedOverlaps(
+            **{
+                name: np.concatenate([sh[name] for sh in shards])
+                for name in _COLUMNS
+            }
+        )

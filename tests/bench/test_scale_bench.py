@@ -1,0 +1,146 @@
+"""Schema smoke tests for the out-of-core scale bench (tiny sizes)."""
+
+import json
+
+import pytest
+
+from repro.bench.datasets import FinishScaleSpec
+from repro.bench.scale_bench import (
+    MEMORY_SLACK_BYTES,
+    SCHEMA,
+    ScaleBenchRecord,
+    memory_failures,
+    run_scale_bench,
+)
+from repro.cli import build_parser
+
+TINY = FinishScaleSpec(name="T1", backbone=30, seed=9)
+TINY_EQ = FinishScaleSpec(name="TE", backbone=20, seed=10)
+
+
+@pytest.fixture(scope="module")
+def report():
+    rep, agree = run_scale_bench(
+        specs=[TINY],
+        shard_size=32,
+        cache_budget=1 << 20,
+        equivalence_spec=TINY_EQ,
+    )
+    return rep, agree
+
+
+class TestScaleBenchSchema:
+    def test_cells_present(self, report):
+        rep, _ = report
+        cells = {(r.dataset, r.cell) for r in rep.records}
+        assert ("T1", "pack") in cells
+        assert ("T1", "stream") in cells
+        for backend in ("serial", "sim", "process"):
+            assert ("TE", f"equivalence:{backend}") in cells
+
+    def test_equivalence_holds_at_tiny_scale(self, report):
+        rep, agree = report
+        assert agree
+        for r in rep.records:
+            if r.cell.startswith("equivalence:"):
+                assert r.extra["identical"]
+                assert r.extra["n_contigs"] > 0
+
+    def test_json_schema(self, report, tmp_path):
+        rep, _ = report
+        path = tmp_path / "BENCH_scale.json"
+        rep.write(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA
+        meta = payload["metadata"]
+        assert meta["cache_budget_bytes"] == 1 << 20
+        assert meta["memory_slack_bytes"] == MEMORY_SLACK_BYTES
+        assert "memory_gate" in meta
+        assert meta["specs"][0]["name"] == "T1"
+        assert meta["specs"][0]["read_equivalent"] == TINY.read_equivalent
+        for row in payload["results"]:
+            assert set(row) >= {
+                "dataset",
+                "cell",
+                "n_reads",
+                "seconds",
+                "peak_tracked_bytes",
+                "ru_maxrss_kb",
+                "extra",
+            }
+            assert row["seconds"] >= 0
+            assert row["peak_tracked_bytes"] > 0
+
+    def test_pack_and_stream_extras(self, report):
+        rep, _ = report
+        by_cell = {r.cell: r for r in rep.records if r.dataset == "T1"}
+        pack = by_cell["pack"]
+        assert pack.extra["n_shards"] >= 2  # tiny shards force sharding
+        assert pack.extra["store_bytes"] > 0
+        stream = by_cell["stream"]
+        assert stream.extra["kmer_windows"] > 0
+        assert stream.extra["cache"]["misses"] > 0
+        assert stream.n_reads == TINY.read_equivalent
+
+    def test_summary_table_renders(self, report):
+        rep, _ = report
+        table = rep.summary_table()
+        assert "T1" in table and "stream" in table
+
+
+class TestMemoryGate:
+    def _record(self, cell, peak):
+        return ScaleBenchRecord(
+            dataset="X",
+            cell=cell,
+            n_reads=1,
+            seconds=0.0,
+            peak_tracked_bytes=peak,
+            ru_maxrss_kb=0,
+        )
+
+    def test_under_ceiling_passes(self):
+        budget = 1 << 20
+        recs = [self._record("stream", budget + MEMORY_SLACK_BYTES)]
+        assert memory_failures(recs, budget) == []
+
+    def test_over_ceiling_fails(self):
+        budget = 1 << 20
+        recs = [self._record("stream", budget + MEMORY_SLACK_BYTES + 1)]
+        failures = memory_failures(recs, budget)
+        assert len(failures) == 1
+        assert "over ceiling" in failures[0]
+
+    def test_only_stream_cells_are_gated(self):
+        recs = [self._record("pack", 1 << 40)]
+        assert memory_failures(recs, 0) == []
+
+
+class TestCLIWiring:
+    def test_bench_scale_parses(self):
+        args = build_parser().parse_args(
+            [
+                "bench",
+                "scale",
+                "-o",
+                "out.json",
+                "--datasets",
+                "S4",
+                "--shard-size",
+                "128",
+                "--cache-budget-mb",
+                "16",
+                "--skip-equivalence",
+            ]
+        )
+        assert args.bench_command == "scale"
+        assert args.datasets == ["S4"]
+        assert args.cache_budget_mb == 16
+        assert args.skip_equivalence
+
+    def test_pack_and_assemble_store_parse(self):
+        parser = build_parser()
+        p = parser.parse_args(["pack", "r.fastq", "-o", "r.store"])
+        assert p.command == "pack" and p.shard_size == 4096
+        a = parser.parse_args(["assemble", "--store", "r.store", "-o", "c.fa"])
+        assert a.store == "r.store" and a.reads is None

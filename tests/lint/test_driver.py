@@ -39,6 +39,7 @@ class TestRegistry:
             "ARCH001",
             "ARCH002",
             "DET001",
+            "MEM001",
             "MPI001",
             "MPI002",
             "MPI003",

@@ -1,0 +1,108 @@
+"""Sharded overlap and graph column stores round-trip exactly."""
+
+import numpy as np
+import pytest
+
+from repro.align.overlap import PackedOverlaps
+from repro.graph.overlap_graph import OverlapGraph
+from repro.store import (
+    ShardedGraph,
+    ShardedOverlaps,
+    pack_graph,
+    pack_overlaps,
+)
+
+
+def packed(n, seed):
+    rng = np.random.default_rng(seed)
+    return PackedOverlaps(
+        query=rng.integers(0, 100, n),
+        ref=rng.integers(0, 100, n),
+        q_start=rng.integers(0, 50, n),
+        r_start=rng.integers(0, 50, n),
+        length=rng.integers(50, 120, n),
+        identity=rng.uniform(0.9, 1.0, n),
+        kind_code=rng.integers(0, 3, n).astype(np.uint8),
+    )
+
+
+class TestShardedOverlaps:
+    def test_rechunked_roundtrip(self, tmp_path):
+        # Ragged input batches, fixed shard rows: 7 + 19 + 4 -> 8/8/8/6.
+        batches = [packed(7, 1), packed(19, 2), packed(4, 3)]
+        path = str(tmp_path / "ovl.store")
+        manifest = pack_overlaps(iter(batches), path, shard_size=8)
+        assert manifest.n_records == 30
+        assert [s.n_records for s in manifest.shards] == [8, 8, 8, 6]
+        store = ShardedOverlaps(path)
+        merged = store.to_packed()
+        want_q = np.concatenate([b.query for b in batches])
+        want_id = np.concatenate([b.identity for b in batches])
+        assert (merged.query == want_q).all()
+        assert np.allclose(merged.identity, want_id)
+        assert merged.kind_code.dtype == np.uint8
+
+    def test_shard_batches_are_packed_overlaps(self, tmp_path):
+        path = str(tmp_path / "ovl.store")
+        pack_overlaps(iter([packed(10, 4)]), path, shard_size=4)
+        store = ShardedOverlaps(path)
+        sizes = [len(b) for b in store.iter_batches()]
+        assert sizes == [4, 4, 2]
+        assert isinstance(store.shard_batch(0), PackedOverlaps)
+
+    def test_empty_stream(self, tmp_path):
+        path = str(tmp_path / "ovl.store")
+        manifest = pack_overlaps(iter([]), path, shard_size=4)
+        assert manifest.n_records == 0
+        assert len(ShardedOverlaps(path).to_packed()) == 0
+
+
+def sample_graph(n_edges=23, n_nodes=40, with_deltas=True, seed=5):
+    rng = np.random.default_rng(seed)
+    return OverlapGraph(
+        n_nodes,
+        rng.integers(0, n_nodes, n_edges),
+        rng.integers(0, n_nodes, n_edges),
+        rng.uniform(1.0, 9.0, n_edges),
+        node_weights=rng.integers(1, 5, n_nodes),
+        deltas=rng.integers(-40, 40, n_edges) if with_deltas else None,
+        identities=rng.uniform(0.9, 1.0, n_edges),
+    )
+
+
+class TestShardedGraph:
+    def test_roundtrip(self, tmp_path):
+        g = sample_graph()
+        path = str(tmp_path / "g.store")
+        manifest = pack_graph(g, path, shard_size=5)
+        assert manifest.n_records == g.n_edges
+        store = ShardedGraph(path)
+        assert store.n_edges == g.n_edges
+        g2 = store.to_graph()
+        assert g2.n_nodes == g.n_nodes
+        assert (g2.eu == g.eu).all() and (g2.ev == g.ev).all()
+        assert np.allclose(g2.weights, g.weights)
+        assert (g2.deltas == g.deltas).all()
+        assert np.allclose(g2.identities, g.identities)
+        assert (g2.node_weights == g.node_weights).all()
+        assert g2.has_deltas
+
+    def test_roundtrip_without_deltas(self, tmp_path):
+        g = sample_graph(with_deltas=False)
+        path = str(tmp_path / "g.store")
+        pack_graph(g, path, shard_size=5)
+        assert not ShardedGraph(path).to_graph().has_deltas
+
+    def test_edge_shards_stream_in_order(self, tmp_path):
+        g = sample_graph()
+        path = str(tmp_path / "g.store")
+        pack_graph(g, path, shard_size=10)
+        eu = np.concatenate([s["eu"] for s in ShardedGraph(path).iter_edge_shards()])
+        assert (eu == g.eu).all()
+
+    def test_kind_mismatch_between_stores(self, tmp_path):
+        g = sample_graph()
+        path = str(tmp_path / "g.store")
+        pack_graph(g, path, shard_size=10)
+        with pytest.raises(ValueError, match="holds 'graph'"):
+            ShardedOverlaps(path)
