@@ -37,12 +37,14 @@ __all__ = [
     "ChaosBenchReport",
     "chaos_plan",
     "bench_backend",
+    "bench_service",
     "run_chaos_bench",
     "main",
 ]
 
 #: schema of one record in ``BENCH_chaos.json``; bump when fields change.
-SCHEMA = "repro.bench.chaos/v1"
+#: v2: service-axis records (scenario/kills/takeovers/owners/attempts).
+SCHEMA = "repro.bench.chaos/v2"
 
 DEFAULT_OUTPUT = "BENCH_chaos.json"
 DEFAULT_DATASET = "D1"
@@ -84,6 +86,19 @@ class ChaosBenchRecord:
     respawns: int = 0
     fallbacks: int = 0
     recovered_partitions: int = 0
+    #: which chaos axis produced this record: ``"faultplan"`` for the
+    #: in-process injected faults above, or a service scenario name
+    #: (``baseline`` / ``worker-kill`` / ``supervisor-kill`` /
+    #: ``takeover``) for whole-process SIGKILL recovery.
+    scenario: str = "faultplan"
+    #: processes SIGKILLed by a service scenario.
+    kills: int = 0
+    #: stale-lease requeues journaled (the takeover gate wants exactly 1).
+    takeovers: int = 0
+    #: distinct supervisors that leased the job.
+    owners: int = 1
+    #: final attempt counter (1 = never requeued).
+    attempts: int = 1
 
 
 @dataclass
@@ -110,16 +125,24 @@ class ChaosBenchReport:
     def summary_table(self) -> str:
         rows = []
         for r in self.records:
+            if r.scenario != "faultplan":
+                plan = r.scenario
+            elif r.plan_seed < 0:
+                plan = "baseline"
+            else:
+                plan = f"seed {r.plan_seed}"
             rows.append(
                 [
                     r.backend,
-                    "baseline" if r.plan_seed < 0 else f"seed {r.plan_seed}",
+                    plan,
                     f"{r.stage_s:.3f}",
                     f"{r.slowdown:.2f}x",
                     r.injected,
                     r.retries,
                     r.respawns,
                     r.fallbacks,
+                    r.kills,
+                    r.attempts,
                     "ok" if r.contigs_match else "MISMATCH",
                 ]
             )
@@ -133,6 +156,8 @@ class ChaosBenchReport:
                 "Retries",
                 "Respawns",
                 "Fallbacks",
+                "Kills",
+                "Attempts",
                 "Contigs",
             ],
             rows,
@@ -221,6 +246,68 @@ def bench_backend(
     return records, all_match
 
 
+def bench_service(
+    workdir: str | None = None, timeout: float = 180.0
+) -> tuple[list[ChaosBenchRecord], bool]:
+    """The service axis: SIGKILL whole processes, gate full recovery.
+
+    Runs the four :data:`~repro.service.chaos.SCENARIOS` on the small
+    deterministic SVC dataset.  A scenario passes when the job ends
+    ``done`` with contigs byte-identical to the unkilled baseline run;
+    the ``takeover`` scenario additionally requires *exactly one*
+    stale-lease requeue (two racing supervisors, one winner) and the
+    ``supervisor-kill`` scenario requires the job to have been owned by
+    two distinct supervisors.
+    """
+    import tempfile
+
+    from repro.service.chaos import (
+        SCENARIOS,
+        run_scenario,
+        write_service_reads,
+    )
+
+    records: list[ChaosBenchRecord] = []
+    all_ok = True
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        reads = write_service_reads(os.path.join(tmp, "reads.fasta"))
+        base_contigs = b""
+        base_wall = 0.0
+        for scenario in SCENARIOS:
+            res = run_scenario(
+                scenario, os.path.join(tmp, scenario), reads, timeout=timeout
+            )
+            if scenario == "baseline":
+                base_contigs = res.contigs
+                base_wall = res.wall_s
+                ok = res.state == "done" and bool(res.contigs)
+            else:
+                ok = res.state == "done" and res.contigs == base_contigs
+                if scenario == "takeover":
+                    ok = ok and res.takeovers == 1
+                if scenario == "supervisor-kill":
+                    ok = ok and res.owners >= 2
+            all_ok = all_ok and ok
+            records.append(
+                ChaosBenchRecord(
+                    dataset="SVC",
+                    backend="service",
+                    partitions=4,
+                    plan_seed=-1,
+                    stage_s=res.wall_s,
+                    slowdown=res.wall_s / base_wall if base_wall > 0 else 1.0,
+                    contigs_match=ok,
+                    n_contigs=int(res.result.get("n_contigs", 0)),
+                    scenario=scenario,
+                    kills=res.kills,
+                    takeovers=res.takeovers,
+                    owners=res.owners,
+                    attempts=res.attempts,
+                )
+            )
+    return records, all_ok
+
+
 def run_chaos_bench(
     dataset: BenchDataset | None = None,
     backends: tuple[str, ...] = DEFAULT_BACKENDS,
@@ -268,24 +355,35 @@ def main(
     backends: tuple[str, ...] = DEFAULT_BACKENDS,
     seeds: tuple[int, ...] = DEFAULT_SEEDS,
     n_partitions: int = DEFAULT_PARTITIONS,
+    service: bool = False,
     stream=None,
 ) -> int:
     """CLI entry point for ``repro bench chaos``.
 
-    Exit codes: 0 every faulted run recovered the fault-free contigs
-    byte-for-byte; 2 at least one did not (results written either
-    way).
+    ``service=True`` appends the whole-process SIGKILL axis (worker
+    kill, supervisor kill, two-supervisor takeover race) on the SVC
+    dataset.  Exit codes: 0 every chaos cell recovered the fault-free
+    contigs byte-for-byte (and the service gates held); 2 at least one
+    did not (results written either way).
     """
     stream = stream or sys.stdout
     report, all_match = run_chaos_bench(
         backends=backends, seeds=seeds, n_partitions=n_partitions
     )
+    if service:
+        service_records, service_ok = bench_service()
+        report.records.extend(service_records)
+        report.metadata["service_scenarios"] = [
+            r.scenario for r in service_records
+        ]
+        all_match = all_match and service_ok
     report.write(output)
     print(report.summary_table(), file=stream)
     print(f"wrote {len(report.records)} records to {output}", file=stream)
     if not all_match:
         print(
-            "FAIL: a faulted run did not recover the fault-free contigs",
+            "FAIL: a chaos run did not recover the fault-free contigs "
+            "(or a service recovery gate failed)",
             file=stream,
         )
         return 2

@@ -17,12 +17,18 @@ Usage examples::
     python -m repro bench chaos -o BENCH_chaos.json
     python -m repro bench scale -o BENCH_scale.json --datasets S4 S5
     python -m repro stats contigs.fasta
+    python -m repro submit jobs.store reads.fastq --partitions 4 --retries 3
+    python -m repro serve jobs.store --workers 2 --drain
+    python -m repro jobs jobs.store
+    python -m repro cancel jobs.store job-ab12cd34ef
+    python -m repro verify-store reads.store --quarantine
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -195,6 +201,144 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("contigs")
 
     p = sub.add_parser(
+        "submit",
+        help="submit an assembly job to a durable job store",
+        description=(
+            "Durably enqueues one checkpointed assembly job.  The store "
+            "directory is created on first use; a supervisor (`repro "
+            "serve`) picks the job up, and the job survives any crash — "
+            "worker or supervisor — by resuming from its last durable "
+            "stage checkpoint."
+        ),
+    )
+    p.add_argument("store", help="job store directory (created if absent)")
+    p.add_argument(
+        "reads", nargs="?", help="FASTA/FASTQ read set (omit with --reads-store)"
+    )
+    p.add_argument(
+        "--reads-store",
+        metavar="DIR",
+        help="sharded read store (`repro pack`) instead of a read file",
+    )
+    p.add_argument("--name", default="job", help="job name prefix")
+    p.add_argument("--partitions", type=int, default=4)
+    p.add_argument(
+        "--partition-mode", choices=("hybrid", "multilevel"), default="hybrid"
+    )
+    p.add_argument(
+        "--backend", choices=("serial", "sim", "process"), default="serial"
+    )
+    p.add_argument("--engine", choices=("loop", "sparse"), default="loop")
+    p.add_argument("--min-overlap", type=int, default=50)
+    p.add_argument("--min-identity", type=float, default=0.9)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--priority", type=int, default=0, help="larger runs first"
+    )
+    p.add_argument(
+        "--memory-mb",
+        type=int,
+        default=0,
+        help="admission-control charge in MiB (0 = the shard-cache budget)",
+    )
+    p.add_argument(
+        "--cache-budget-mb",
+        type=int,
+        default=64,
+        help="LRU shard-cache budget for store-backed reads, in MiB",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max attempts before the job is marked failed",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-attempt wall-second budget before the watchdog kills it",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run a job-store supervisor (schedule + recover jobs)",
+        description=(
+            "Polls the job store: admits queued jobs up to the worker and "
+            "memory quotas (highest priority first; an oversized job is "
+            "admitted alone as the serial fallback), heartbeat-leases "
+            "them to worker processes, SIGKILLs workers past their "
+            "deadline, and requeues any job whose lease went stale — "
+            "including jobs orphaned by a previous supervisor that "
+            "crashed.  Multiple supervisors may serve one store; lease "
+            "arbitration guarantees each job has at most one owner."
+        ),
+    )
+    p.add_argument("store", help="job store directory")
+    p.add_argument("--owner", default=None, help="supervisor name in leases")
+    p.add_argument(
+        "--workers", type=int, default=2, help="max concurrent worker processes"
+    )
+    p.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=256,
+        help="admission-control byte budget across running jobs, in MiB",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=15.0, help="lease TTL in seconds"
+    )
+    p.add_argument(
+        "--poll-interval", type=float, default=0.5, help="scheduler pass period"
+    )
+    p.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once every job in the store is terminal",
+    )
+    p.add_argument(
+        "--max-seconds",
+        type=float,
+        default=3600.0,
+        help="hard wall-clock bound on the serve loop",
+    )
+
+    p = sub.add_parser(
+        "jobs",
+        help="list jobs in a job store (state, attempt, stage, owner)",
+    )
+    p.add_argument("store", help="job store directory")
+    p.add_argument(
+        "--journal",
+        metavar="JOB_ID",
+        help="print the journaled transition history of one job instead",
+    )
+
+    p = sub.add_parser("cancel", help="cancel a queued or running job")
+    p.add_argument("store", help="job store directory")
+    p.add_argument("job_id", help="job to cancel")
+
+    p = sub.add_parser(
+        "verify-store",
+        help="scrub a sharded read/graph store (stamps + fingerprints)",
+        description=(
+            "Re-validates every shard of a `repro pack` store against "
+            "its manifest: per-shard stamp fields, payload integrity, "
+            "and manifest fingerprints.  Exits 1 if any shard fails.  "
+            "With --quarantine, corrupt shards are moved aside so a "
+            "re-pack --resume rebuilds exactly the damaged ones."
+        ),
+    )
+    p.add_argument("store", help="store directory (`repro pack` output)")
+    p.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move corrupt shards to <store>/quarantine/ instead of "
+        "just reporting them",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+
+    p = sub.add_parser(
         "bench",
         help="performance benchmarks on the standard D1-D3 datasets",
     )
@@ -294,6 +438,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument(
         "--partitions", type=int, default=4, help="partition count (power of two)"
+    )
+    b.add_argument(
+        "--service",
+        action="store_true",
+        help="also run the assembly-service SIGKILL axis: kill the "
+        "worker and the supervisor mid-stage (and race two supervisors "
+        "over a stale lease), gating byte-identical recovered contigs",
     )
     b = bench_sub.add_parser(
         "scale",
@@ -638,6 +789,7 @@ def _cmd_bench(args) -> int:
             backends=tuple(args.backends),
             seeds=tuple(args.seeds),
             n_partitions=args.partitions,
+            service=args.service,
         )
     if args.bench_command == "scale":
         from repro.bench.scale_bench import main as bench_scale_main
@@ -664,6 +816,147 @@ def _cmd_stats(args) -> int:
     print(f"max contig:  {s.max_contig:,} bp")
     print(f"mean contig: {s.mean_contig:,.1f} bp")
     return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.faults import RetryPolicy
+    from repro.service import JobSpec, JobStore
+
+    if (args.reads is None) == (args.reads_store is None):
+        print(
+            "error: give exactly one of READS or --reads-store",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        spec = JobSpec(
+            name=args.name,
+            reads_path=args.reads,
+            reads_store=args.reads_store,
+            n_partitions=args.partitions,
+            partition_mode=args.partition_mode,
+            backend=args.backend,
+            engine=args.engine,
+            min_overlap=args.min_overlap,
+            min_identity=args.min_identity,
+            seed=args.seed,
+            priority=args.priority,
+            memory_bytes=args.memory_mb << 20,
+            cache_budget=args.cache_budget_mb << 20,
+            retry=RetryPolicy(max_attempts=args.retries),
+            deadline=args.deadline,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    store = JobStore(args.store, create=True)
+    record = store.submit(spec)
+    print(f"submitted {record.job_id} (queued, priority {record.priority})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import JobStore, Supervisor
+
+    try:
+        store = JobStore(args.store)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    sup = Supervisor(
+        store,
+        owner=args.owner,
+        max_workers=args.workers,
+        memory_budget=args.memory_budget_mb << 20,
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll_interval,
+    )
+    print(
+        f"serving {args.store} as {sup.owner} "
+        f"(workers={args.workers}, ttl={args.lease_ttl}s)"
+    )
+    try:
+        sup.run(drain=args.drain, max_seconds=args.max_seconds)
+    except KeyboardInterrupt:
+        sup.shutdown(kill=False)
+        print("supervisor stopped; running workers keep their leases")
+        return 130
+    states = [r.state for r in store.load_records()]
+    print(
+        f"serve loop done: {len(states)} jobs "
+        f"({states.count('done')} done, {states.count('failed')} failed, "
+        f"{states.count('cancelled')} cancelled)"
+    )
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.service import JobStore
+
+    try:
+        store = JobStore(args.store)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.journal:
+        try:
+            entries = store.journal(args.journal)
+        except KeyError:
+            print(f"error: no such job {args.journal!r}", file=sys.stderr)
+            return 1
+        for e in entries:
+            stamp = time.strftime("%H:%M:%S", time.localtime(e.ts))
+            info = " ".join(f"{k}={v}" for k, v in sorted(e.info.items()))
+            print(
+                f"{stamp}  {e.state_from:>13s} -> {e.state_to:<13s} "
+                f"attempt {e.attempt}  {info}"
+            )
+        return 0
+    rows = []
+    for record in store.load_records():
+        lease = store.read_lease(record.job_id)
+        owner = lease.owner if lease and not lease.stale() else "-"
+        rows.append(
+            [
+                record.job_id,
+                record.state,
+                record.attempt,
+                record.priority,
+                record.stage or "-",
+                owner,
+                record.error or "-",
+            ]
+        )
+    if not rows:
+        print("no jobs")
+        return 0
+    print(
+        format_table(
+            ["Job", "State", "Attempt", "Priority", "Stage", "Owner", "Error"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.service import JobStore
+
+    try:
+        store = JobStore(args.store)
+        outcome = store.request_cancel(args.job_id)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.job_id}: {outcome}")
+    return 0 if outcome != "ignored" else 1
+
+
+def _cmd_verify_store(args) -> int:
+    from repro.store.verify import main as verify_main
+
+    return verify_main(args.store, quarantine=args.quarantine, fmt=args.format)
 
 
 def _cmd_lint(args) -> int:
@@ -694,6 +987,11 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
+    "submit": _cmd_submit,
+    "serve": _cmd_serve,
+    "jobs": _cmd_jobs,
+    "cancel": _cmd_cancel,
+    "verify-store": _cmd_verify_store,
 }
 
 

@@ -244,6 +244,7 @@ class FocusAssembler:
         engine: str | None = None,
         checkpoint: str | os.PathLike | None = None,
         resume: bool = False,
+        on_stage=None,
     ) -> AssemblyResult:
         """Partition, trim, traverse, and build contigs.
 
@@ -267,6 +268,14 @@ class FocusAssembler:
         from the beginning.  Restored stages keep their recorded times
         in :attr:`AssemblyResult.virtual_times` but add no entry to
         the :class:`StageTimer` (nothing was executed).
+
+        ``on_stage`` is an optional callable invoked with the stage
+        name after each distributed stage completes (and, when a
+        checkpoint path is set, after its checkpoint is durable) — the
+        job service uses it to journal progress, heartbeat leases, and
+        observe cancellation between stages.  Restored stages do not
+        fire it.  An exception raised by the callback aborts the run
+        (the just-written checkpoint survives for the next resume).
         """
         cfg = self.config
         k = cfg.n_partitions if n_partitions is None else n_partitions
@@ -355,6 +364,8 @@ class FocusAssembler:
                     ),
                     ckpt_file,
                 )
+            if on_stage is not None:
+                on_stage(stage)
             return out.result
 
         trim_sequence = (

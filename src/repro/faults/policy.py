@@ -1,13 +1,19 @@
-"""RetryPolicy: attempts, capped exponential backoff, per-task deadline.
+"""RetryPolicy: attempts, capped exponential backoff + jitter, deadlines.
 
 One policy object is shared by every execution backend; only the
 *granularity* of a retry differs per backend (per-partition kernel on
 serial/process, whole stage on the simulated cluster — see
-docs/robustness.md).
+docs/robustness.md).  The job service (:mod:`repro.service`) reuses the
+same policy for lease requeue escalation, which is where the bounded
+*jitter* matters: when one dead supervisor strands dozens of leased
+jobs, their retries must not all fire on the same tick (the classic
+thundering herd), so each retry site passes a ``token`` and receives a
+deterministic, bounded perturbation of the shared backoff curve.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 __all__ = ["RetryPolicy"]
@@ -26,6 +32,15 @@ class RetryPolicy:
     ``fallback_serial`` is set, a backend that exhausts the budget
     re-runs the failed partitions in-process (without fault injection
     — the master itself is the fallback worker) instead of raising.
+
+    ``jitter`` adds a bounded random fraction of the capped backoff on
+    top of it: ``backoff(attempt, token)`` returns a value in
+    ``[base, base * (1 + jitter)]`` where ``base`` is the deterministic
+    capped-exponential term.  The perturbation is a pure function of
+    ``(jitter_seed, token, attempt)`` — seeded and reproducible under
+    test — so two retry sites passing different tokens (partition ids,
+    job ids) de-synchronise while one site replays identically.
+    ``jitter=0`` (the default) preserves the exact historical curve.
     """
 
     max_attempts: int = 3
@@ -33,6 +48,11 @@ class RetryPolicy:
     backoff_cap: float = 1.0
     task_deadline: float | None = 30.0
     fallback_serial: bool = True
+    #: bounded jitter fraction in [0, 1]: the extra wait is at most
+    #: ``jitter * backoff`` (thundering-herd de-synchronisation).
+    jitter: float = 0.0
+    #: seed of the deterministic jitter stream.
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -43,16 +63,31 @@ class RetryPolicy:
             raise ValueError("backoff_cap must be >= backoff_base")
         if self.task_deadline is not None and self.task_deadline <= 0:
             raise ValueError("task_deadline must be positive (or None)")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
 
     def allows(self, attempt: int) -> bool:
         """Whether attempt number ``attempt`` (1-based) may run."""
         return attempt <= self.max_attempts
 
-    def backoff(self, attempt: int) -> float:
-        """Seconds to wait before attempt ``attempt + 1``."""
+    def backoff(self, attempt: int, token: object = 0) -> float:
+        """Seconds to wait before attempt ``attempt + 1``.
+
+        ``token`` names the retry site (partition id, job id, ...):
+        with ``jitter`` enabled, different tokens spread over the
+        jitter window while one token always waits the same time.
+        """
         if attempt < 1:
             raise ValueError("attempt numbers are 1-based")
-        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        base = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        # str-seeded Random uses a stable hash (PYTHONHASHSEED-proof),
+        # so the perturbation is reproducible across processes/runs.
+        unit = random.Random(
+            f"{self.jitter_seed}:{token}:{attempt}"
+        ).random()
+        return base * (1.0 + self.jitter * unit)
 
     def to_dict(self) -> dict:
         return {
@@ -61,10 +96,17 @@ class RetryPolicy:
             "backoff_cap": self.backoff_cap,
             "task_deadline": self.task_deadline,
             "fallback_serial": self.fallback_serial,
+            "jitter": self.jitter,
+            "jitter_seed": self.jitter_seed,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Inverse of :meth:`to_dict`.
+
+        Dicts written before the jitter fields existed load with
+        ``jitter=0`` — the historical behaviour.
+        """
         try:
             return cls(**data)
         except TypeError as exc:

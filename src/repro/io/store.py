@@ -22,6 +22,7 @@ is complete.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pickle
@@ -38,6 +39,7 @@ from repro.io.records import Read
 
 __all__ = [
     "atomic_savez",
+    "atomic_write_text",
     "fsync_dir",
     "save_graph",
     "load_graph",
@@ -135,6 +137,36 @@ def _atomic_savez(dest, compressed: bool = True, **arrays) -> None:
 #: (:mod:`repro.store`) persists its shard files through the same
 #: crash-safe path the stage checkpoints use.
 atomic_savez = _atomic_savez
+
+#: process-wide tmp-name disambiguator (``itertools.count`` increments
+#: are atomic under the GIL, so threads never mint the same name).
+_tmp_counter = itertools.count()
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Durably replace a small text file (tmp + fsync + ``os.replace``).
+
+    The same crash-safety contract as :func:`atomic_savez`: a reader
+    never observes a truncated file — either the previous content
+    survives or the new content is complete and the rename is fsynced
+    into the parent directory.  Store manifests and the job-service
+    records (:mod:`repro.service`) are written through this path.
+    """
+    final = str(path)
+    # Unique per call, not just per process: concurrent writers in one
+    # process (supervisor threads) must not share a tmp name.
+    tmp = f"{final}.tmp.{os.getpid()}.{next(_tmp_counter)}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        fsync_dir(os.path.dirname(final) or ".")
+    except BaseException:
+        with suppress(OSError):
+            os.remove(tmp)
+        raise
 
 
 @contextmanager

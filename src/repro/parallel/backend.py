@@ -200,7 +200,7 @@ class ExecutionBackend:
                         return spec.kernel(self.dag, part, **params)
                     raise StageExecutionError(spec.name, attempt, failures) from exc
                 report.record_retry(spec.name, where, type(exc).__name__)
-                time.sleep(policy.backoff(attempt))
+                time.sleep(policy.backoff(attempt, token=part))
                 attempt += 1
                 continue
             if failures:
@@ -559,7 +559,9 @@ class ProcessBackend(ExecutionBackend):
                     if part in failed_once:
                         report.record_recovery(spec.name, where)
             if round_failed and pending:
-                time.sleep(policy.backoff(min(attempt.values())))
+                time.sleep(
+                    policy.backoff(min(attempt.values()), token=min(pending))
+                )
         return proposals
 
     def close(self) -> None:

@@ -1,0 +1,266 @@
+"""Job specs, job records, and the job state machine.
+
+A *job* is one checkpointed assembly: a :class:`JobSpec` (immutable
+input + configuration, written once at submit) and a :class:`JobRecord`
+(the mutable lifecycle state, rewritten atomically on every
+transition).  The state machine is small and strict::
+
+    queued -> leased -> running <-> checkpointing -> done
+       ^         |         |                           |
+       |         +---------+------> failed / cancelled +
+       +---- (requeue after a crash, lease loss, or watchdog kill)
+
+``queued``
+    Submitted (or requeued after a failed attempt); no owner.
+``leased``
+    A supervisor claimed the job's lease and is starting a worker.
+``running`` / ``checkpointing``
+    The worker is executing stages; it bounces through
+    ``checkpointing`` as each distributed stage's checkpoint is made
+    durable, so the journal records exactly how far the job got.
+``done`` / ``failed`` / ``cancelled``
+    Terminal.  ``done`` jobs have contigs and a result record on disk.
+
+Any transition not in :data:`TRANSITIONS` raises
+:class:`InvalidTransitionError` — a crashed process can leave a job
+*stale* (active state + expired lease) but never in an unrepresentable
+state, which is what makes crash recovery a scan instead of a repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.faults import RetryPolicy
+
+__all__ = [
+    "JOB_STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "InvalidTransitionError",
+    "JobSpec",
+    "JobRecord",
+]
+
+#: every job state, in lifecycle order.
+JOB_STATES = (
+    "queued",
+    "leased",
+    "running",
+    "checkpointing",
+    "done",
+    "failed",
+    "cancelled",
+)
+
+#: states in which some process claims to be advancing the job — a job
+#: found in one of these with a stale lease is recoverable.
+ACTIVE_STATES = frozenset({"leased", "running", "checkpointing"})
+
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: the legal state machine; requeue edges (``* -> queued``) are how
+#: crash recovery returns a stranded job to the scheduler.
+TRANSITIONS: dict[str, frozenset[str]] = {
+    "queued": frozenset({"leased", "cancelled"}),
+    "leased": frozenset({"running", "queued", "failed", "cancelled"}),
+    "running": frozenset(
+        {"checkpointing", "done", "failed", "queued", "cancelled"}
+    ),
+    "checkpointing": frozenset(
+        {"running", "done", "failed", "queued", "cancelled"}
+    ),
+    "done": frozenset(),
+    "failed": frozenset(),
+    "cancelled": frozenset(),
+}
+
+
+class InvalidTransitionError(ValueError):
+    """A state change outside :data:`TRANSITIONS` was attempted."""
+
+    def __init__(self, job_id: str, current: str, target: str) -> None:
+        super().__init__(
+            f"job {job_id!r}: illegal transition {current!r} -> {target!r}"
+        )
+        self.job_id = job_id
+        self.current = current
+        self.target = target
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Immutable description of one assembly job.
+
+    Exactly one of ``reads_path`` (FASTA/FASTQ file) and
+    ``reads_store`` (a ``repro pack`` sharded store directory) names
+    the input.  ``memory_bytes`` is the job's admission-control charge
+    against the supervisor's memory budget; for store-backed jobs it
+    defaults to the shard-cache budget (the actual streaming ceiling).
+    ``pause_between_stages`` inserts a sleep after each durable stage
+    checkpoint — a chaos/testing knob that widens the kill window for
+    the hard-kill recovery suites; production jobs leave it at 0.
+    """
+
+    name: str = "job"
+    reads_path: str | None = None
+    reads_store: str | None = None
+    n_partitions: int = 4
+    partition_mode: str = "hybrid"
+    backend: str = "serial"
+    engine: str = "loop"
+    min_overlap: int = 50
+    min_identity: float = 0.9
+    seed: int = 0
+    #: larger runs first; ties break on submit order.
+    priority: int = 0
+    #: admission-control charge in bytes (0 = use ``cache_budget``).
+    memory_bytes: int = 0
+    #: LRU shard-cache budget for store-backed reads.
+    cache_budget: int = 64 * 1024 * 1024
+    #: retry/backoff escalation for failed attempts (worker crashes,
+    #: watchdog kills, stage errors) — the PR 5 policy, reused.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: wall-second budget for one attempt before the supervisor's
+    #: watchdog kills and requeues it (None = no watchdog).
+    deadline: float | None = None
+    #: chaos/testing stall after each stage checkpoint (seconds).
+    pause_between_stages: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.reads_path is None) == (self.reads_store is None):
+            raise ValueError(
+                "exactly one of reads_path and reads_store is required"
+            )
+        if self.n_partitions < 1 or (
+            self.n_partitions & (self.n_partitions - 1)
+        ) != 0:
+            raise ValueError("n_partitions must be a power of two")
+        if self.backend not in ("serial", "sim", "process"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.engine not in ("loop", "sparse"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.partition_mode not in ("hybrid", "multilevel"):
+            raise ValueError(f"unknown partition_mode {self.partition_mode!r}")
+        if self.memory_bytes < 0 or self.cache_budget < 0:
+            raise ValueError("byte budgets must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.pause_between_stages < 0:
+            raise ValueError("pause_between_stages must be non-negative")
+
+    @property
+    def charge(self) -> int:
+        """Admission-control bytes this job reserves while running."""
+        return self.memory_bytes if self.memory_bytes > 0 else self.cache_budget
+
+    def assembly_config(self):
+        """The :class:`~repro.core.config.AssemblyConfig` this spec runs."""
+        from repro.align.overlapper import OverlapConfig
+        from repro.core.config import AssemblyConfig
+
+        return AssemblyConfig(
+            n_partitions=self.n_partitions,
+            partition_mode=self.partition_mode,
+            backend=self.backend,
+            finish_engine=self.engine,
+            overlap=OverlapConfig(
+                min_overlap=self.min_overlap, min_identity=self.min_identity
+            ),
+            retry=self.retry,
+            store_path=self.reads_store,
+            cache_budget=self.cache_budget,
+            seed=self.seed,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "reads_path": self.reads_path,
+            "reads_store": self.reads_store,
+            "n_partitions": self.n_partitions,
+            "partition_mode": self.partition_mode,
+            "backend": self.backend,
+            "engine": self.engine,
+            "min_overlap": self.min_overlap,
+            "min_identity": self.min_identity,
+            "seed": self.seed,
+            "priority": self.priority,
+            "memory_bytes": self.memory_bytes,
+            "cache_budget": self.cache_budget,
+            "retry": self.retry.to_dict(),
+            "deadline": self.deadline,
+            "pause_between_stages": self.pause_between_stages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        payload = dict(data)
+        retry = payload.get("retry")
+        if isinstance(retry, dict):
+            payload["retry"] = RetryPolicy.from_dict(retry)
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ValueError(f"malformed job spec: {exc}") from exc
+
+
+@dataclass
+class JobRecord:
+    """The mutable lifecycle state of one job (``state.json``)."""
+
+    job_id: str
+    state: str = "queued"
+    #: 1-based attempt counter; bumped on every requeue.
+    attempt: int = 1
+    priority: int = 0
+    created: float = 0.0
+    updated: float = 0.0
+    #: scheduler hold-off: not admitted before this wall time (the
+    #: jittered retry backoff after a failed attempt).
+    not_before: float = 0.0
+    #: last completed distributed stage (journal granularity).
+    stage: str = ""
+    error: str = ""
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transitioned(
+        self, target: str, now: float, **fields
+    ) -> "JobRecord":
+        """A copy in ``target`` state, validated against the machine."""
+        if target not in JOB_STATES:
+            raise ValueError(f"unknown job state {target!r}")
+        if target not in TRANSITIONS[self.state]:
+            raise InvalidTransitionError(self.job_id, self.state, target)
+        return replace(self, state=target, updated=now, **fields)
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "attempt": self.attempt,
+            "priority": self.priority,
+            "created": self.created,
+            "updated": self.updated,
+            "not_before": self.not_before,
+            "stage": self.stage,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        try:
+            record = cls(**dict(data))
+        except TypeError as exc:
+            raise ValueError(f"malformed job record: {exc}") from exc
+        if record.state not in JOB_STATES:
+            raise ValueError(f"unknown job state {record.state!r}")
+        return record

@@ -10,6 +10,7 @@ datasets with peak memory O(shard), not O(dataset):
 - :mod:`repro.store.reads` — :func:`pack_reads` + :class:`ShardedReadSet`.
 - :mod:`repro.store.overlaps` — sharded PackedOverlaps columns.
 - :mod:`repro.store.graphs` — sharded overlap-graph pair tables.
+- :mod:`repro.store.verify` — offline scrub (``repro verify-store``).
 """
 
 from repro.store.cache import CacheStats, ShardCache
@@ -34,6 +35,7 @@ from repro.store.sharded import (
     ShardWriter,
     shard_name,
 )
+from repro.store.verify import ShardReport, VerifyReport, verify_store
 
 __all__ = [
     "CacheStats",
@@ -57,4 +59,7 @@ __all__ = [
     "GRAPH_KIND",
     "ShardedGraph",
     "pack_graph",
+    "ShardReport",
+    "VerifyReport",
+    "verify_store",
 ]

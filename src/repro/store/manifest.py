@@ -22,7 +22,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.io.store import fsync_dir
+from repro.io.store import atomic_write_text, fsync_dir
 
 __all__ = ["STORE_VERSION", "MANIFEST_NAME", "ShardInfo", "StoreManifest"]
 
@@ -96,12 +96,7 @@ class StoreManifest:
         """Atomically write ``manifest.json`` into the store directory."""
         directory = str(directory)
         final = os.path.join(directory, MANIFEST_NAME)
-        tmp = f"{final}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json() + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, final)
+        atomic_write_text(final, self.to_json() + "\n")
         fsync_dir(directory)
         return final
 

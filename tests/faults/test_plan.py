@@ -132,9 +132,63 @@ class TestRetryPolicy:
         assert policy.backoff(2) == pytest.approx(0.2)
         assert policy.backoff(3) == pytest.approx(0.35)  # capped, not 0.4
 
+    def test_backoff_cap_holds_with_jitter_bound(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.35, jitter=0.5)
+        for attempt in (1, 2, 3, 6):
+            base = min(0.35, 0.1 * (2 ** (attempt - 1)))
+            for token in range(8):
+                value = policy.backoff(attempt, token=token)
+                assert base <= value <= base * 1.5 + 1e-12
+
+    def test_jitter_is_deterministic_per_token(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.3, jitter_seed=7)
+        again = RetryPolicy(backoff_base=0.1, jitter=0.3, jitter_seed=7)
+        assert policy.backoff(2, token=4) == again.backoff(2, token=4)
+        assert policy.backoff(2, token="job-a") == again.backoff(2, token="job-a")
+
+    def test_jitter_spreads_tokens(self):
+        # The thundering-herd fix: distinct retry sites must not all
+        # sleep the same time.
+        policy = RetryPolicy(backoff_base=0.1, jitter=1.0, jitter_seed=1)
+        waits = {policy.backoff(1, token=t) for t in range(16)}
+        assert len(waits) > 1
+
+    def test_jitter_seed_changes_the_stream(self):
+        a = RetryPolicy(backoff_base=0.1, jitter=1.0, jitter_seed=1)
+        b = RetryPolicy(backoff_base=0.1, jitter=1.0, jitter_seed=2)
+        assert any(
+            a.backoff(1, token=t) != b.backoff(1, token=t) for t in range(8)
+        )
+
+    def test_zero_jitter_keeps_historical_curve(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_cap=1.0)
+        assert policy.backoff(1, token=3) == pytest.approx(0.05)
+        assert policy.backoff(2, token=3) == pytest.approx(0.1)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
     def test_dict_roundtrip(self):
         policy = RetryPolicy(max_attempts=5, task_deadline=1.0)
         assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_dict_roundtrip_with_jitter(self):
+        policy = RetryPolicy(jitter=0.25, jitter_seed=9)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_accepts_pre_jitter_payloads(self):
+        legacy = {
+            "max_attempts": 3,
+            "backoff_base": 0.05,
+            "backoff_cap": 1.0,
+            "task_deadline": 30.0,
+            "fallback_serial": True,
+        }
+        policy = RetryPolicy.from_dict(legacy)
+        assert policy.jitter == 0.0
 
 
 class TestFaultReport:

@@ -52,6 +52,7 @@ class TestRegistry:
             "PURE001",
             "PURE002",
             "ROB001",
+            "ROB002",
         ]
 
     def test_every_rule_has_summary_and_severity(self):

@@ -1,0 +1,108 @@
+"""CLI surface tests: submit / jobs / serve / cancel round trips."""
+
+from repro.cli import main
+
+
+class TestSubmitJobsServe:
+    def test_full_round_trip(self, tmp_path, reads_path, capsys):
+        store = str(tmp_path / "jobs.store")
+        rc = main(
+            [
+                "submit",
+                store,
+                reads_path,
+                "--name",
+                "cli",
+                "--seed",
+                "7",
+                "--priority",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "submitted cli-" in out
+        job_id = out.split()[1]
+
+        rc = main(["jobs", store])
+        assert rc == 0
+        listing = capsys.readouterr().out
+        assert job_id in listing
+        assert "queued" in listing
+
+        rc = main(["serve", store, "--drain", "--poll-interval", "0.02",
+                   "--lease-ttl", "5", "--max-seconds", "60"])
+        assert rc == 0
+        assert "done" in capsys.readouterr().out
+
+        rc = main(["jobs", store])
+        assert rc == 0
+        assert "done" in capsys.readouterr().out
+
+        rc = main(["jobs", store, "--journal", job_id])
+        assert rc == 0
+        journal = capsys.readouterr().out
+        assert "queued" in journal and "done" in journal
+
+    def test_submit_requires_exactly_one_input(self, tmp_path, capsys):
+        rc = main(["submit", str(tmp_path / "s")])
+        assert rc == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_jobs_on_missing_store_errors(self, tmp_path, capsys):
+        rc = main(["jobs", str(tmp_path / "nope")])
+        assert rc == 1
+        assert "not a job store" in capsys.readouterr().err
+
+    def test_cancel_queued_job(self, tmp_path, reads_path, capsys):
+        store = str(tmp_path / "jobs.store")
+        main(["submit", store, reads_path])
+        job_id = capsys.readouterr().out.split()[1]
+        rc = main(["cancel", store, job_id])
+        assert rc == 0
+        assert "cancelled" in capsys.readouterr().out
+        # cancelling again is a no-op and exits 1
+        rc = main(["cancel", store, job_id])
+        assert rc == 1
+        assert "ignored" in capsys.readouterr().out
+
+
+class TestVerifyStoreCli:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.io.records import Read
+        from repro.store.reads import pack_reads
+
+        reads = [
+            Read(f"r{i}", np.zeros(50, dtype=np.uint8)) for i in range(300)
+        ]
+        store = str(tmp_path / "reads.store")
+        pack_reads(reads, store, shard_size=128)
+        rc = main(["verify-store", store])
+        assert rc == 0
+        assert "scrub: ok" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_one_and_quarantines(self, tmp_path, capsys):
+        import os
+
+        import numpy as np
+
+        from repro.io.records import Read
+        from repro.store.reads import pack_reads
+
+        reads = [
+            Read(f"r{i}", np.zeros(50, dtype=np.uint8)) for i in range(300)
+        ]
+        store = str(tmp_path / "reads.store")
+        pack_reads(reads, store, shard_size=128)
+        shard = next(
+            e for e in sorted(os.listdir(store)) if e.endswith(".npz")
+        )
+        with open(os.path.join(store, shard), "r+b") as fh:
+            fh.truncate(100)
+        rc = main(["verify-store", store, "--quarantine"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "BAD" in out and "quarantined" in out
+        assert os.path.exists(os.path.join(store, "quarantine", shard))
